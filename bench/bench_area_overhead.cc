@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces **Sec. 5.1–5.3**: APC's die-area overhead — the long-
+ * distance wires, controller glue logic, FIVR RVID registers and the
+ * APMU FSM, totalling <0.75% of the SKX die.
+ */
+
+#include "bench_common.h"
+
+#include "analysis/area_model.h"
+
+using namespace apc;
+
+int
+main()
+{
+    bench::banner("Sec. 5: die-area overhead model");
+    using analysis::TablePrinter;
+    namespace ref = analysis::paper;
+
+    const analysis::AreaParams pessimistic; // 128-bit interconnect
+    analysis::AreaParams wide = pessimistic;
+    wide.ioInterconnectBits = 512;
+
+    const auto b128 = analysis::computeAreaOverhead(pessimistic);
+    const auto b512 = analysis::computeAreaOverhead(wide);
+
+    TablePrinter t("Area overhead (fraction of SKX die)");
+    t.header({"Component", "Paper bound", "Sim (128-bit IC)",
+              "Sim (512-bit IC)"});
+    t.row({"IOSM wires (5 signals)", "<0.24%",
+           TablePrinter::percent(b128.iosmWires, 3),
+           TablePrinter::percent(b512.iosmWires, 3)});
+    t.row({"IOSM controller logic", "<0.08%",
+           TablePrinter::percent(b128.iosmControllerLogic, 3),
+           TablePrinter::percent(b512.iosmControllerLogic, 3)});
+    t.row({"CLMR wires (3 signals)", "<0.14%",
+           TablePrinter::percent(b128.clmrWires, 3),
+           TablePrinter::percent(b512.clmrWires, 3)});
+    t.row({"CLMR FIVR FCM logic", "<0.005%",
+           TablePrinter::percent(b128.clmrFcm, 4),
+           TablePrinter::percent(b512.clmrFcm, 4)});
+    t.row({"APMU FSM", "<0.1%", TablePrinter::percent(b128.apmuLogic, 3),
+           TablePrinter::percent(b512.apmuLogic, 3)});
+    t.row({"InCC1 wires (3 signals)", "<0.14%",
+           TablePrinter::percent(b128.incc1Wires, 3),
+           TablePrinter::percent(b512.incc1Wires, 3)});
+    t.row({"TOTAL", "<0.75%", TablePrinter::percent(b128.total(), 3),
+           TablePrinter::percent(b512.total(), 3)});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses in bench/.
+ *
+ * Each bench binary reproduces one table or figure from the paper and
+ * prints the paper-reported value next to the simulator-measured one.
+ * Durations are sized for seconds-scale wall-clock runs; set
+ * APC_BENCH_DURATION_MS to lengthen/shorten the measurement window.
+ */
+
+#ifndef APC_BENCH_BENCH_COMMON_H
+#define APC_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/paper_reference.h"
+#include "analysis/table_printer.h"
+#include "server/server_sim.h"
+
+namespace apc::bench {
+
+/** Measurement window, overridable via APC_BENCH_DURATION_MS. */
+inline sim::Tick
+benchDuration(sim::Tick fallback = 300 * sim::kMs)
+{
+    if (const char *env = std::getenv("APC_BENCH_DURATION_MS"))
+        return static_cast<sim::Tick>(std::atoll(env)) * sim::kMs;
+    return fallback;
+}
+
+/** Run one server experiment. */
+inline server::ServerResult
+runServer(soc::PackagePolicy policy, const workload::WorkloadConfig &wl,
+          sim::Tick duration = 0, std::uint64_t seed = 42)
+{
+    server::ServerConfig cfg;
+    cfg.policy = policy;
+    cfg.workload = wl;
+    cfg.duration = duration > 0 ? duration : benchDuration();
+    cfg.seed = seed;
+    server::ServerSim sim(std::move(cfg));
+    return sim.run();
+}
+
+/** Idle-system measurement under a policy (0 QPS, housekeeping only). */
+inline server::ServerResult
+runIdle(soc::PackagePolicy policy, sim::Tick duration = 100 * sim::kMs)
+{
+    return runServer(policy, workload::WorkloadConfig::memcachedEtc(0),
+                     duration);
+}
+
+/** Banner helper. */
+inline void
+banner(const char *what)
+{
+    std::printf("\n############################################"
+                "####################\n"
+                "# AgilePkgC reproduction — %s\n"
+                "############################################"
+                "####################\n",
+                what);
+}
+
+} // namespace apc::bench
+
+#endif // APC_BENCH_BENCH_COMMON_H

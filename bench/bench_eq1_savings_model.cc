@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces the **Sec. 2 / Eq. 1** analytical estimates: plugging the
+ * measured residencies and power levels into the paper's power model
+ * gives ~23% savings at 5% load, ~17% at 10% load, and ~41% for an
+ * idle server. Cross-checks Eq. 1 against the directly simulated CPC1A
+ * power.
+ */
+
+#include "bench_common.h"
+
+#include "analysis/eq1_model.h"
+
+using namespace apc;
+
+int
+main()
+{
+    bench::banner("Sec. 2 / Eq. 1: analytical savings model");
+    using analysis::TablePrinter;
+    namespace ref = analysis::paper;
+
+    // Measure the three power levels the model needs.
+    const auto idle_sh = bench::runIdle(soc::PackagePolicy::Cshallow);
+    const auto idle_apc = bench::runIdle(soc::PackagePolicy::Cpc1a);
+    const double p_pc0idle = idle_sh.totalPowerW();
+    const double p_pc1a = idle_apc.totalPowerW();
+
+    struct Point
+    {
+        const char *label;
+        double qps;       ///< paper's all-CC1 residency anchor points
+        double paper_all_cc1;
+        double paper_savings;
+    };
+    // Paper Sec. 2: all cores simultaneously in CC1 ~57% of the time at
+    // 5% load and ~39% at 10% load -> 23% / 17% savings.
+    // QPS anchors chosen to hit ~5% / ~10% measured utilization on
+    // the Cshallow baseline (see bench_fig6_opportunity).
+    const Point points[] = {{"5% load", 12e3, 0.57, ref::kSavingsAt5pct},
+                            {"10% load", 35e3, 0.39,
+                             ref::kSavingsAt10pct}};
+
+    TablePrinter t("Eq. 1 savings estimates");
+    t.header({"Operating point", "R_PC0idle (sim)", "R_PC0idle (paper)",
+              "Eq.1 savings (sim resid.)", "Eq.1 (paper resid.)",
+              "paper", "direct sim"});
+    for (const auto &p : points) {
+        const auto wl = workload::WorkloadConfig::memcachedEtc(p.qps);
+        const auto sh =
+            bench::runServer(soc::PackagePolicy::Cshallow, wl);
+        const auto apc = bench::runServer(soc::PackagePolicy::Cpc1a, wl);
+
+        analysis::Eq1Inputs in;
+        in.rPc0idle = sh.allIdleFraction;
+        in.rPc0 = 1.0 - in.rPc0idle;
+        // P_PC0 at this operating point: measured average power during
+        // the non-idle fraction.
+        in.pPc0 = in.rPc0 > 0
+            ? (sh.totalPowerW() - in.rPc0idle * p_pc0idle) / in.rPc0
+            : p_pc0idle;
+        in.pPc0idle = p_pc0idle;
+        in.pPc1a = p_pc1a;
+
+        analysis::Eq1Inputs paper_in = in;
+        paper_in.rPc0idle = p.paper_all_cc1;
+        paper_in.rPc0 = 1.0 - p.paper_all_cc1;
+
+        const double direct =
+            1.0 - apc.totalPowerW() / sh.totalPowerW();
+        t.row({p.label, TablePrinter::percent(in.rPc0idle),
+               TablePrinter::percent(p.paper_all_cc1),
+               TablePrinter::percent(analysis::eq1Savings(in)),
+               TablePrinter::percent(analysis::eq1Savings(paper_in)),
+               TablePrinter::percent(p.paper_savings),
+               TablePrinter::percent(direct)});
+    }
+    t.print();
+
+    std::printf("\nIdle-server special case: 1 - P_PC1A/P_PC0idle = %s "
+                "(paper: ~41%%)\n",
+                TablePrinter::percent(
+                    analysis::eq1IdleSavings(p_pc0idle, p_pc1a))
+                    .c_str());
+    return 0;
+}

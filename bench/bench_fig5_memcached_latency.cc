@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces **Fig. 5**: Memcached average and tail latency for the
+ * Cshallow vs Cdeep configurations across request rates. The shape to
+ * match: Cshallow strictly better; Cdeep pays deep-C-state wakes at low
+ * load and a queueing spike at high load (>=300K QPS).
+ */
+
+#include "bench_common.h"
+
+using namespace apc;
+
+int
+main()
+{
+    bench::banner("Fig. 5: Cshallow vs Cdeep Memcached latency");
+    using analysis::TablePrinter;
+
+    const double qps_points[] = {4e3, 10e3, 25e3, 50e3, 100e3,
+                                 200e3, 300e3, 400e3, 600e3};
+
+    TablePrinter t("Fig. 5 — end-to-end latency (us); network ~117 us");
+    t.header({"QPS", "avg Cshallow", "avg Cdeep", "p95 Cshallow",
+              "p95 Cdeep", "p99 Cshallow", "p99 Cdeep"});
+    for (const double qps : qps_points) {
+        const auto wl = workload::WorkloadConfig::memcachedEtc(qps);
+        const auto sh =
+            bench::runServer(soc::PackagePolicy::Cshallow, wl);
+        const auto dp = bench::runServer(soc::PackagePolicy::Cdeep, wl);
+        t.row({TablePrinter::num(qps / 1000, 0) + "K",
+               TablePrinter::num(sh.avgLatencyUs, 1),
+               TablePrinter::num(dp.avgLatencyUs, 1),
+               TablePrinter::num(sh.p95LatencyUs, 1),
+               TablePrinter::num(dp.p95LatencyUs, 1),
+               TablePrinter::num(sh.p99LatencyUs, 1),
+               TablePrinter::num(dp.p99LatencyUs, 1)});
+    }
+    t.print();
+    std::printf("\nExpected shape (paper): Cdeep above Cshallow "
+                "everywhere; latency spike for Cdeep at high load from "
+                "CC6/PC6 transition queueing.\n");
+    return 0;
+}

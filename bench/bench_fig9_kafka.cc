@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces **Fig. 9**: Kafka at low/high request rates (8% / 16%
+ * processor load): (a) residency (paper: 15–47% PC1A opportunity),
+ * (b) average power reduction (paper: 9–19%).
+ */
+
+#include "bench_common.h"
+
+using namespace apc;
+
+int
+main()
+{
+    bench::banner("Fig. 9: Kafka residency & power reduction");
+    using analysis::TablePrinter;
+    namespace ref = analysis::paper;
+
+    const auto base_wl = workload::WorkloadConfig::kafka(0);
+    struct Point
+    {
+        const char *name;
+        double util;
+        const char *paper_savings;
+    };
+    const Point points[] = {{"low (8%)", 0.08, "~19%"},
+                            {"high (16%)", 0.16, "~9%"}};
+
+    TablePrinter t("Fig. 9 — Kafka");
+    t.header({"Load", "QPS", "util (sim)", "CC0", "CC1",
+              "PC1A res. (paper 15-47%)", "Savings", "paper"});
+    for (const auto &p : points) {
+        const double qps = base_wl.qpsForUtilization(p.util, 10);
+        const auto wl = workload::WorkloadConfig::kafka(qps);
+        const auto sh =
+            bench::runServer(soc::PackagePolicy::Cshallow, wl);
+        const auto apc = bench::runServer(soc::PackagePolicy::Cpc1a, wl);
+        const double savings =
+            1.0 - apc.totalPowerW() / sh.totalPowerW();
+        t.row({p.name, TablePrinter::num(qps, 0),
+               TablePrinter::percent(sh.utilization),
+               TablePrinter::percent(sh.coreResidency[0]),
+               TablePrinter::percent(sh.coreResidency[1]),
+               TablePrinter::percent(apc.pc1aResidency()),
+               TablePrinter::percent(savings), p.paper_savings});
+    }
+    t.print();
+
+    const auto idle_sh = bench::runIdle(soc::PackagePolicy::Cshallow);
+    const auto idle_apc = bench::runIdle(soc::PackagePolicy::Cpc1a);
+    std::printf("\nFully idle server reduction: %s (paper: 41%%). "
+                "Latency impact (paper): <0.01%% for Kafka/MySQL.\n",
+                TablePrinter::percent(1.0 - idle_apc.totalPowerW() /
+                                      idle_sh.totalPowerW()).c_str());
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reproduces **Sec. 5.4**: the four power deltas that compose PC1A's
+ * power from PC6's —
+ *   P_cores_diff ≈ 12.1 W (all-CC1 vs all-CC6),
+ *   P_IOs_diff   ≈ 3.5 W (L0s/L0p/CKE-off vs L1/self-refresh),
+ *   P_DRAM_diff  ≈ 1.1 W (CKE-off vs self-refresh, DRAM plane),
+ *   P_PLLs_diff  ≈ 56 mW (8 ADPLLs on vs off),
+ * and the composition P_PC1A = P_PC6 + ΣΔ.
+ */
+
+#include "bench_common.h"
+
+#include "soc/soc.h"
+
+using namespace apc;
+
+namespace {
+
+/** Sum of the named loads' current power. */
+double
+loadPower(soc::Soc &soc, std::initializer_list<const char *> prefixes,
+          power::Plane plane)
+{
+    double w = 0.0;
+    for (const auto *l : soc.meter().loads()) {
+        if (l->plane() != plane)
+            continue;
+        for (const char *p : prefixes) {
+            if (l->name().rfind(p, 0) == 0) {
+                w += l->currentPower();
+                break;
+            }
+        }
+    }
+    return w;
+}
+
+struct Components
+{
+    double cores, ios, dram, plls, soc_total, dram_total;
+};
+
+/** Settle a policy fully idle and decompose the power. */
+Components
+settle(soc::PackagePolicy policy)
+{
+    sim::Simulation s;
+    auto cfg = soc::SkxConfig::forPolicy(policy);
+    if (policy == soc::PackagePolicy::Cdeep) {
+        cfg.ladder.cc1ToCc1e = 10 * sim::kUs;
+        cfg.ladder.cc1eToCc6 = 50 * sim::kUs;
+    }
+    soc::Soc soc(s, cfg, policy);
+    for (std::size_t i = 0; i < soc.numCores(); ++i)
+        soc.core(i).release();
+    s.runUntil(5 * sim::kMs);
+    Components c;
+    c.cores = loadPower(soc, {"core"}, power::Plane::Package);
+    c.ios = loadPower(soc, {"pcie", "dmi", "upi", "mc"},
+                      power::Plane::Package);
+    c.plls = loadPower(soc, {"pll."}, power::Plane::Package);
+    c.dram = soc.meter().planePower(power::Plane::Dram);
+    c.soc_total = soc.meter().planePower(power::Plane::Package);
+    c.dram_total = c.dram;
+    return c;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Sec. 5.4: PC1A power composition");
+    using analysis::TablePrinter;
+    namespace ref = analysis::paper;
+
+    const auto pc1a = settle(soc::PackagePolicy::Cpc1a);
+    const auto pc6 = settle(soc::PackagePolicy::Cdeep);
+
+    TablePrinter t("Power deltas PC1A - PC6");
+    t.header({"Delta", "Paper", "Sim"});
+    t.row({"P_cores_diff", "12.1W",
+           TablePrinter::watts(pc1a.cores - pc6.cores, 2)});
+    t.row({"P_IOs_diff", "3.5W",
+           TablePrinter::watts(pc1a.ios - pc6.ios, 2)});
+    t.row({"P_DRAM_diff", "1.1W",
+           TablePrinter::watts(pc1a.dram - pc6.dram, 2)});
+    t.row({"P_PLLs_diff", "0.056W",
+           TablePrinter::watts(pc1a.plls - pc6.plls, 3)});
+    t.print();
+
+    TablePrinter c("Composition check: P_PC1A = P_PC6 + sum of deltas");
+    c.header({"Quantity", "Paper", "Sim"});
+    c.row({"P_soc(PC6)", "11.9W", TablePrinter::watts(pc6.soc_total, 2)});
+    c.row({"P_soc(PC1A)", "27.5W",
+           TablePrinter::watts(pc1a.soc_total, 2)});
+    c.row({"P_soc(PC6)+deltas", "27.5W",
+           TablePrinter::watts(pc6.soc_total +
+                                   (pc1a.cores - pc6.cores) +
+                                   (pc1a.ios - pc6.ios) +
+                                   (pc1a.plls - pc6.plls),
+                               2)});
+    c.row({"P_dram(PC6)", "0.51W",
+           TablePrinter::watts(pc6.dram_total, 2)});
+    c.row({"P_dram(PC1A)", "1.6W",
+           TablePrinter::watts(pc1a.dram_total, 2)});
+    c.print();
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces the **Sec. 8** argument: with a nanosecond-scale package
+ * C-state available, simple *race-to-halt* (run at nominal frequency,
+ * sleep deeply and quickly) beats ondemand-style DVFS management for
+ * latency-critical services.
+ *
+ * Compares, across the low-load range:
+ *   1. Cshallow @ nominal        (the datacenter baseline),
+ *   2. Cshallow + ondemand DVFS  (the classic power-management answer),
+ *   3. CPC1A @ nominal           (race-to-halt with APC).
+ */
+
+#include "bench_common.h"
+
+using namespace apc;
+
+namespace {
+
+server::ServerResult
+runPoint(soc::PackagePolicy policy, double qps, bool dvfs)
+{
+    server::ServerConfig cfg;
+    cfg.policy = policy;
+    cfg.workload = workload::WorkloadConfig::memcachedEtc(qps);
+    cfg.duration = bench::benchDuration();
+    cfg.dvfs.enabled = dvfs;
+    server::ServerSim sim(std::move(cfg));
+    return sim.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Sec. 8: race-to-halt (PC1A) vs DVFS management");
+    using analysis::TablePrinter;
+
+    const double qps_points[] = {4e3, 25e3, 50e3, 100e3};
+
+    TablePrinter t("Power (W) and latency (us): baseline vs ondemand "
+                   "DVFS vs APC race-to-halt");
+    t.header({"QPS", "base W", "DVFS W", "APC W", "base p99",
+              "DVFS p99", "APC p99"});
+    double dvfs_savings = 0, apc_savings = 0;
+    double dvfs_tail_cost = 0;
+    int n = 0;
+    for (const double qps : qps_points) {
+        const auto base =
+            runPoint(soc::PackagePolicy::Cshallow, qps, false);
+        const auto dvfs =
+            runPoint(soc::PackagePolicy::Cshallow, qps, true);
+        const auto apc = runPoint(soc::PackagePolicy::Cpc1a, qps, false);
+        t.row({TablePrinter::num(qps / 1000, 0) + "K",
+               TablePrinter::num(base.totalPowerW()),
+               TablePrinter::num(dvfs.totalPowerW()),
+               TablePrinter::num(apc.totalPowerW()),
+               TablePrinter::num(base.p99LatencyUs, 1),
+               TablePrinter::num(dvfs.p99LatencyUs, 1),
+               TablePrinter::num(apc.p99LatencyUs, 1)});
+        dvfs_savings += 1.0 - dvfs.totalPowerW() / base.totalPowerW();
+        apc_savings += 1.0 - apc.totalPowerW() / base.totalPowerW();
+        dvfs_tail_cost +=
+            dvfs.p99LatencyUs / base.p99LatencyUs - 1.0;
+        ++n;
+    }
+    t.print();
+
+    std::printf("\nAverages over the sweep: DVFS saves %s with +%s p99; "
+                "APC race-to-halt saves %s with ~0%% p99 cost.\n",
+                TablePrinter::percent(dvfs_savings / n).c_str(),
+                TablePrinter::percent(dvfs_tail_cost / n).c_str(),
+                TablePrinter::percent(apc_savings / n).c_str());
+    std::printf("Paper Sec. 8: \"The new PC1A state of APC ... makes a "
+                "simple race-to-halt approach more attractive compared "
+                "to complex DVFS management techniques.\"\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces **Table 1**: SoC + DRAM power and transition latency across
+ * package states (PC0, PC0idle, PC6, PC1A) for the reference server.
+ *
+ * PC0 is measured with all cores saturated, PC0idle with all cores in
+ * CC1 (Cshallow), PC6 by letting the Cdeep system sink fully, and PC1A
+ * by letting the Cpc1a system sink. Latencies come from the respective
+ * controllers' flow statistics.
+ */
+
+#include "bench_common.h"
+
+using namespace apc;
+
+namespace {
+
+/** Saturating load: every core busy all the time. */
+server::ServerResult
+runSaturated(soc::PackagePolicy policy)
+{
+    auto wl = workload::WorkloadConfig::memcachedEtc(1.2e6);
+    wl.arrivalKind = workload::ArrivalKind::Poisson;
+    return bench::runServer(policy, wl, 50 * sim::kMs);
+}
+
+/** Idle run with OS noise off so the system sinks to its floor. */
+server::ServerResult
+runFloor(soc::PackagePolicy policy)
+{
+    auto wl = workload::WorkloadConfig::memcachedEtc(0);
+    wl.noise.enabled = false;
+    return bench::runServer(policy, wl, 100 * sim::kMs);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 1: power across package C-states");
+    using analysis::TablePrinter;
+    namespace ref = analysis::paper;
+
+    const auto pc0 = runSaturated(soc::PackagePolicy::Cshallow);
+    const auto pc0idle = runFloor(soc::PackagePolicy::Cshallow);
+    const auto pc6 = runFloor(soc::PackagePolicy::Cdeep);
+    const auto pc1a = runFloor(soc::PackagePolicy::Cpc1a);
+
+    TablePrinter t("Table 1 — SoC + DRAM power per package state");
+    t.header({"State", "Cores", "Latency (paper)", "SoC W (paper)",
+              "SoC W (sim)", "DRAM W (paper)", "DRAM W (sim)",
+              "Total W (sim)"});
+    t.row({"PC0", ">=1 CC0", "0", "<=85.0",
+           TablePrinter::num(pc0.pkgPowerW),
+           TablePrinter::num(ref::kPc0DramW),
+           TablePrinter::num(pc0.dramPowerW),
+           TablePrinter::num(pc0.totalPowerW())});
+    t.row({"PC0idle", "10x CC1", "0",
+           TablePrinter::num(ref::kPc0idleSocW),
+           TablePrinter::num(pc0idle.pkgPowerW),
+           TablePrinter::num(ref::kPc0idleDramW),
+           TablePrinter::num(pc0idle.dramPowerW),
+           TablePrinter::num(pc0idle.totalPowerW())});
+    t.row({"PC6", "10x CC6", ">50us",
+           TablePrinter::num(ref::kPc6SocW),
+           TablePrinter::num(pc6.pkgPowerW),
+           TablePrinter::num(ref::kPc6DramW),
+           TablePrinter::num(pc6.dramPowerW),
+           TablePrinter::num(pc6.totalPowerW())});
+    t.row({"PC1A", "10x CC1", "<200ns",
+           TablePrinter::num(ref::kPc1aSocW),
+           TablePrinter::num(pc1a.pkgPowerW),
+           TablePrinter::num(ref::kPc1aDramW),
+           TablePrinter::num(pc1a.dramPowerW),
+           TablePrinter::num(pc1a.totalPowerW())});
+    t.print();
+
+    std::printf("\nPC1A vs PC0idle reduction: %s (paper: ~41%%)\n",
+                TablePrinter::percent(
+                    1.0 - pc1a.totalPowerW() / pc0idle.totalPowerW())
+                    .c_str());
+    return 0;
+}

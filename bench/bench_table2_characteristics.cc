@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces **Table 2**: package C-state characteristics — which state
+ * each shared resource (L3/CLM, PLLs, PCIe/DMI, UPI, DRAM) reaches in
+ * PC0, PC6 and PC1A. Read directly from the simulated hardware after
+ * letting each configuration settle.
+ */
+
+#include "bench_common.h"
+
+#include "soc/soc.h"
+
+using namespace apc;
+
+namespace {
+
+struct Snapshot
+{
+    std::string l3;
+    std::string plls;
+    std::string pcie_dmi;
+    std::string upi;
+    std::string dram;
+};
+
+Snapshot
+snapshot(soc::Soc &soc)
+{
+    Snapshot s;
+    const bool running = soc.clm().clockTree().running();
+    const double v = soc.clm().voltage();
+    s.l3 = running && v >= soc.config().clm.fivr.nominalVolts
+        ? "Accessible"
+        : (v <= soc.config().clm.fivr.retentionVolts + 1e-9 ? "Retention"
+                                                            : "Transition");
+    s.plls = soc.plls().allLocked() ? "On" : "Off";
+    s.pcie_dmi = io::lstateName(soc.link(0).state());
+    s.upi = io::lstateName(soc.link(4).state());
+    switch (soc.mc(0).state()) {
+      case dram::McState::Active:
+        s.dram = "Available";
+        break;
+      case dram::McState::CkeOff:
+        s.dram = "CKE off";
+        break;
+      case dram::McState::SelfRefresh:
+        s.dram = "Self Refresh";
+        break;
+    }
+    return s;
+}
+
+Snapshot
+settle(soc::PackagePolicy policy, bool idle)
+{
+    sim::Simulation s;
+    auto cfg = soc::SkxConfig::forPolicy(policy);
+    soc::Soc soc(s, cfg, policy);
+    if (idle)
+        for (std::size_t i = 0; i < soc.numCores(); ++i)
+            soc.core(i).release();
+    s.runUntil(5 * sim::kMs);
+    return snapshot(soc);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 2: package C-state characteristics");
+    using analysis::TablePrinter;
+
+    const auto pc0 = settle(soc::PackagePolicy::Cshallow, false);
+    const auto pc6 = settle(soc::PackagePolicy::Cdeep, true);
+    const auto pc1a = settle(soc::PackagePolicy::Cpc1a, true);
+
+    TablePrinter t("Table 2 — simulated resource states per package "
+                   "C-state (paper values in brackets)");
+    t.header({"PCx", "Cores in", "L3 Cache", "PLLs", "PCIe/DMI", "UPI",
+              "DRAM"});
+    t.row({"PC0", ">=1 CC0", pc0.l3 + " [Accessible]", pc0.plls + " [On]",
+           pc0.pcie_dmi + " [L0]", pc0.upi + " [L0]",
+           pc0.dram + " [Available]"});
+    t.row({"PC6", "All CC6", pc6.l3 + " [Retention]", pc6.plls + " [Off]",
+           pc6.pcie_dmi + " [L1]", pc6.upi + " [L1]",
+           pc6.dram + " [Self Refresh]"});
+    t.row({"PC1A", "All CC1", pc1a.l3 + " [Retention]",
+           pc1a.plls + " [On]", pc1a.pcie_dmi + " [L0s]",
+           pc1a.upi + " [L0p]", pc1a.dram + " [CKE off]"});
+    t.print();
+    return 0;
+}

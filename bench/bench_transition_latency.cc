@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces **Sec. 5.5**: PC1A entry (~18 ns) and exit (≤150 ns)
+ * latency, the ≤200 ns worst-case bound, and the >250× speedup over
+ * PC6 — by repeatedly driving the real APMU/GPMU flows and reading
+ * their latency statistics.
+ */
+
+#include "bench_common.h"
+
+#include "soc/soc.h"
+
+using namespace apc;
+
+namespace {
+
+/** Cycle the Cpc1a system through N PC1A enter/exit pairs. */
+void
+cyclePc1a(int cycles, stats::Summary &entry_ns, stats::Summary &exit_ns,
+          bool alternate_wake_sources = true)
+{
+    sim::Simulation s;
+    auto cfg = soc::SkxConfig::forPolicy(soc::PackagePolicy::Cpc1a);
+    soc::Soc soc(s, cfg, soc::PackagePolicy::Cpc1a);
+    for (std::size_t i = 0; i < soc.numCores(); ++i)
+        soc.core(i).release();
+    for (int i = 0; i < cycles; ++i) {
+        s.runUntil(s.now() + 50 * sim::kUs);
+        if (soc.apmu()->state() != core::Apmu::State::Pc1a)
+            continue;
+        if (alternate_wake_sources && i % 2 == 0) {
+            // IO wake: traffic on the NIC (no core involvement).
+            soc.nic().transfer(100 * sim::kNs, nullptr);
+        } else {
+            // Core interrupt wake; the core idles again right after.
+            const std::size_t c = static_cast<std::size_t>(i)
+                % soc.numCores();
+            soc.core(c).requestWake([&soc, &s, c] {
+                s.after(2 * sim::kUs,
+                        [&soc, c] { soc.core(c).release(); });
+            });
+        }
+    }
+    s.runUntil(s.now() + 100 * sim::kUs);
+    entry_ns = soc.apmu()->entryLatencyNs();
+    exit_ns = soc.apmu()->exitLatencyNs();
+}
+
+/** One full PC6 enter/exit pair on the Cdeep system. */
+void
+cyclePc6(double &entry_us, double &exit_us)
+{
+    sim::Simulation s;
+    auto cfg = soc::SkxConfig::forPolicy(soc::PackagePolicy::Cdeep);
+    cfg.ladder.cc1ToCc1e = 10 * sim::kUs;
+    cfg.ladder.cc1eToCc6 = 50 * sim::kUs;
+    soc::Soc soc(s, cfg, soc::PackagePolicy::Cdeep);
+    for (std::size_t i = 0; i < soc.numCores(); ++i)
+        soc.core(i).release();
+    s.runUntil(2 * sim::kMs);
+    soc.core(0).requestWake(nullptr);
+    s.runUntil(4 * sim::kMs);
+    entry_us = soc.gpmu().entryLatencyUs().mean();
+    exit_us = soc.gpmu().exitLatencyUs().mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Sec. 5.5: PC1A transition latency");
+    using analysis::TablePrinter;
+    namespace ref = analysis::paper;
+
+    stats::Summary entry_ns, exit_ns;
+    cyclePc1a(400, entry_ns, exit_ns);
+
+    double pc6_entry_us = 0, pc6_exit_us = 0;
+    cyclePc6(pc6_entry_us, pc6_exit_us);
+
+    TablePrinter t("PC1A transition latency (ns) over " +
+                   std::to_string(entry_ns.count()) + " entries / " +
+                   std::to_string(exit_ns.count()) + " exits");
+    t.header({"Flow", "Paper", "Sim avg", "Sim max"});
+    t.row({"PC1A entry", "~18", TablePrinter::num(entry_ns.mean(), 1),
+           TablePrinter::num(entry_ns.max(), 1)});
+    t.row({"PC1A exit", "<=150", TablePrinter::num(exit_ns.mean(), 1),
+           TablePrinter::num(exit_ns.max(), 1)});
+    t.row({"PC1A entry+exit", "<=200",
+           TablePrinter::num(entry_ns.mean() + exit_ns.mean(), 1),
+           TablePrinter::num(entry_ns.max() + exit_ns.max(), 1)});
+    t.print();
+
+    TablePrinter t2("PC6 vs PC1A");
+    t2.header({"Metric", "Paper", "Sim"});
+    t2.row({"PC6 entry+exit (us)", ">50",
+            TablePrinter::num(pc6_entry_us + pc6_exit_us, 1)});
+    const double speedup = (pc6_entry_us + pc6_exit_us) * 1000.0 /
+        (entry_ns.max() + exit_ns.max());
+    t2.row({"PC1A speedup vs PC6", ">250x",
+            TablePrinter::num(speedup, 0) + "x"});
+    t2.print();
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * SLA explorer: for each power-management policy, find the highest
+ * Memcached load that still meets a p99 latency SLA, and report the
+ * energy per million requests at that operating point. This is the
+ * operator's view of the paper's trade-off: Cdeep saves power but blows
+ * the tail; Cshallow protects the tail but wastes idle power; CPC1A
+ * gives (nearly) both.
+ *
+ *   ./example_sla_explorer [p99_sla_us]   (default 250 us)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "server/server_sim.h"
+
+using namespace apc;
+
+namespace {
+
+server::ServerResult
+measure(soc::PackagePolicy policy, double qps)
+{
+    server::ServerConfig cfg;
+    cfg.policy = policy;
+    cfg.workload = workload::WorkloadConfig::memcachedEtc(qps);
+    cfg.duration = 200 * sim::kMs;
+    server::ServerSim sim(std::move(cfg));
+    return sim.run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double sla_us = argc > 1 ? std::atof(argv[1]) : 250.0;
+    std::printf("p99 SLA: %.0f us (end-to-end, network ~117 us)\n\n",
+                sla_us);
+
+    const soc::PackagePolicy policies[] = {soc::PackagePolicy::Cshallow,
+                                           soc::PackagePolicy::Cdeep,
+                                           soc::PackagePolicy::Cpc1a};
+    const double ladder[] = {4e3,  10e3, 25e3, 50e3, 100e3,
+                             150e3, 200e3, 300e3, 400e3, 600e3};
+
+    std::printf("%-10s %-14s %-10s %-10s %-14s\n", "Policy",
+                "max QPS in SLA", "p99 (us)", "power W",
+                "J per 1M req");
+    std::printf("------------------------------------------------------"
+                "-----\n");
+    for (const auto policy : policies) {
+        double best_qps = 0, best_p99 = 0, best_w = 0;
+        for (const double qps : ladder) {
+            const auto r = measure(policy, qps);
+            if (r.p99LatencyUs > sla_us)
+                break;
+            best_qps = qps;
+            best_p99 = r.p99LatencyUs;
+            best_w = r.totalPowerW();
+        }
+        if (best_qps == 0) {
+            std::printf("%-10s fails the SLA even at the lowest load\n",
+                        soc::policyName(policy));
+            continue;
+        }
+        std::printf("%-10s %-14.0f %-10.1f %-10.1f %-14.1f\n",
+                    soc::policyName(policy), best_qps, best_p99, best_w,
+                    best_w / best_qps * 1e6);
+    }
+
+    std::printf("\nReading: C_PC1A sustains the same SLA load as "
+                "Cshallow at lower power; Cdeep loses SLA headroom to "
+                "deep-C-state wake latency.\n");
+    return 0;
+}

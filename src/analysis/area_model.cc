@@ -1,0 +1,28 @@
+#include "analysis/area_model.h"
+
+namespace apc::analysis {
+
+AreaBreakdown
+computeAreaOverhead(const AreaParams &p)
+{
+    AreaBreakdown b;
+    // One long-distance wire costs 1/width of the IO interconnect's die
+    // share (the interconnect is width data bits plus control, so this
+    // is pessimistic — paper Sec. 5.1).
+    const double per_wire =
+        p.ioInterconnectDieFrac / static_cast<double>(p.ioInterconnectBits);
+    b.iosmWires = per_wire * p.iosmLongSignals;
+    b.clmrWires = per_wire * p.clmrLongSignals;
+    b.incc1Wires = per_wire * p.incc1LongSignals;
+    // Control/status knobs already exist in the IO/memory controllers;
+    // the glue is <0.5% of the controllers' area (Sec. 5.1).
+    b.iosmControllerLogic = p.ioControllersDieFrac * p.controllerLogicFrac;
+    // RVID register + VID mux in each CLM FIVR's FCM (Sec. 5.2).
+    b.clmrFcm = p.numClmFivrs * p.fcmLogicFrac * p.fivrOfCoreFrac *
+        p.coreOfDieFrac / 2.0; // FCM is a fraction of one FIVR, die-wide
+    // APMU FSM: up to 5% of the GPMU, which is <2% of the die (Sec. 5.3).
+    b.apmuLogic = p.gpmuDieFrac * p.apmuOfGpmuFrac;
+    return b;
+}
+
+} // namespace apc::analysis

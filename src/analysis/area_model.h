@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Analytical die-area overhead model (paper Sec. 5.1–5.3).
+ *
+ * APC adds long-distance wires (routed through the IO interconnect),
+ * small per-controller logic, the RVID register + mux in each CLM FIVR
+ * control module, and the APMU FSM next to the GPMU. The paper bounds
+ * the total at <0.75% of the SKX die; this model reproduces every term.
+ */
+
+#ifndef APC_ANALYSIS_AREA_MODEL_H
+#define APC_ANALYSIS_AREA_MODEL_H
+
+namespace apc::analysis {
+
+/** Die/floorplan parameters (paper Sec. 5 defaults). */
+struct AreaParams
+{
+    /** IO interconnect data width in bits (128 pessimistic .. 512). */
+    int ioInterconnectBits = 128;
+    /** IO interconnect share of the SKX die. */
+    double ioInterconnectDieFrac = 0.06;
+    /** IO controllers' share of the SKX die. */
+    double ioControllersDieFrac = 0.15;
+    /** Added logic per IO/memory controller, as fraction of the
+     *  controllers' area. */
+    double controllerLogicFrac = 0.005;
+    /** GPMU share of the die and APMU size relative to the GPMU. */
+    double gpmuDieFrac = 0.02;
+    double apmuOfGpmuFrac = 0.05;
+    /** FIVR FCM terms: RVID register + mux relative to the FCM, FIVR
+     *  share of a core, core share of the die. */
+    double fcmLogicFrac = 0.005;
+    double fivrOfCoreFrac = 0.10;
+    double coreOfDieFrac = 0.10;
+
+    // Signal counts (Fig. 3).
+    int iosmLongSignals = 5;  ///< AllowL0s, InL0s aggregates, Allow_CKE_OFF
+    int clmrLongSignals = 3;  ///< Ret, PwrOk, ClkGate
+    int incc1LongSignals = 3; ///< aggregated InCC1 routing
+    int numClmFivrs = 2;
+};
+
+/** Per-component area overhead, as fractions of the SKX die. */
+struct AreaBreakdown
+{
+    double iosmWires = 0.0;
+    double iosmControllerLogic = 0.0;
+    double clmrWires = 0.0;
+    double clmrFcm = 0.0;
+    double apmuLogic = 0.0;
+    double incc1Wires = 0.0;
+
+    double
+    total() const
+    {
+        return iosmWires + iosmControllerLogic + clmrWires + clmrFcm +
+            apmuLogic + incc1Wires;
+    }
+};
+
+/** Evaluate the model. */
+AreaBreakdown computeAreaOverhead(const AreaParams &p);
+
+} // namespace apc::analysis
+
+#endif // APC_ANALYSIS_AREA_MODEL_H

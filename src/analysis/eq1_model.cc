@@ -1,0 +1,36 @@
+#include "analysis/eq1_model.h"
+
+namespace apc::analysis {
+
+double
+eq1BaselinePower(const Eq1Inputs &in)
+{
+    return in.rPc0 * in.pPc0 + in.rPc0idle * in.pPc0idle;
+}
+
+double
+eq1Savings(const Eq1Inputs &in)
+{
+    const double base = eq1BaselinePower(in);
+    if (base <= 0.0)
+        return 0.0;
+    // R_PC1A = R_PC0idle (the PC1A system converts every fully-idle
+    // interval into PC1A residency).
+    return in.rPc0idle * (in.pPc0idle - in.pPc1a) / base;
+}
+
+double
+eq1PowerWithPc1a(const Eq1Inputs &in)
+{
+    return eq1BaselinePower(in) * (1.0 - eq1Savings(in));
+}
+
+double
+eq1IdleSavings(double p_pc0idle, double p_pc1a)
+{
+    if (p_pc0idle <= 0.0)
+        return 0.0;
+    return 1.0 - p_pc1a / p_pc0idle;
+}
+
+} // namespace apc::analysis

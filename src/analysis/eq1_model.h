@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The paper's analytical power model (Sec. 2, Eq. 1).
+ *
+ *   P_baseline = R_PC0 * P_PC0 + R_PC0idle * P_PC0idle
+ *   %P_savings = R_PC1A * (P_PC0idle - P_PC1A) / P_baseline
+ *
+ * assuming the system spends the baseline's fully-idle time (R_PC0idle)
+ * in PC1A instead (R_PC1A = R_PC0idle). The simulator both evaluates
+ * this model (with measured residencies) and runs the real APC flow so
+ * the two estimates can be cross-checked.
+ */
+
+#ifndef APC_ANALYSIS_EQ1_MODEL_H
+#define APC_ANALYSIS_EQ1_MODEL_H
+
+namespace apc::analysis {
+
+/** Inputs to Eq. 1. */
+struct Eq1Inputs
+{
+    double rPc0 = 0.0;      ///< residency with >=1 core active
+    double rPc0idle = 0.0;  ///< residency with all cores idle (CC1)
+    double pPc0 = 0.0;      ///< SoC+DRAM power in PC0, watts
+    double pPc0idle = 0.0;  ///< SoC+DRAM power in PC0idle, watts
+    double pPc1a = 0.0;     ///< SoC+DRAM power in PC1A, watts
+};
+
+/** Baseline average power per Eq. 1, watts. */
+double eq1BaselinePower(const Eq1Inputs &in);
+
+/** Fractional savings per Eq. 1, in [0,1]. */
+double eq1Savings(const Eq1Inputs &in);
+
+/** Average power with PC1A enabled, watts. */
+double eq1PowerWithPc1a(const Eq1Inputs &in);
+
+/**
+ * The idle-server special case (R_PC0 = 0, R_PC0idle = 1):
+ * savings = 1 - P_PC1A / P_PC0idle.
+ */
+double eq1IdleSavings(double p_pc0idle, double p_pc1a);
+
+} // namespace apc::analysis
+
+#endif // APC_ANALYSIS_EQ1_MODEL_H

@@ -1,0 +1,66 @@
+#include "analysis/table_printer.h"
+
+#include <algorithm>
+
+namespace apc::analysis {
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::percent(double frac, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, frac * 100.0);
+    return buf;
+}
+
+std::string
+TablePrinter::watts(double w, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fW", precision, w);
+    return buf;
+}
+
+void
+TablePrinter::print(std::FILE *out) const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cols) {
+        if (widths.size() < cols.size())
+            widths.resize(cols.size(), 0);
+        for (std::size_t i = 0; i < cols.size(); ++i)
+            widths[i] = std::max(widths[i], cols[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+
+    std::fprintf(out, "\n== %s ==\n", title_.c_str());
+    auto emit = [&](const std::vector<std::string> &cols) {
+        for (std::size_t i = 0; i < cols.size(); ++i)
+            std::fprintf(out, "%-*s", static_cast<int>(widths[i] + 2),
+                         cols[i].c_str());
+        std::fprintf(out, "\n");
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::fprintf(out, "%s\n",
+                     std::string(std::max<std::size_t>(total, 4), '-')
+                         .c_str());
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+} // namespace apc::analysis

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses, which print
+ * each reproduced paper table/figure as aligned rows of
+ * "paper-reported vs simulator-measured" values.
+ */
+
+#ifndef APC_ANALYSIS_TABLE_PRINTER_H
+#define APC_ANALYSIS_TABLE_PRINTER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace apc::analysis {
+
+/** Column-aligned text table. */
+class TablePrinter
+{
+  public:
+    /** @param title caption printed above the table */
+    explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void
+    header(std::vector<std::string> cols)
+    {
+        header_ = std::move(cols);
+    }
+
+    /** Append a data row (column count should match the header). */
+    void
+    row(std::vector<std::string> cols)
+    {
+        rows_.push_back(std::move(cols));
+    }
+
+    /** Render to @p out (stdout by default). */
+    void print(std::FILE *out = stdout) const;
+
+    /** Format helpers. */
+    static std::string num(double v, int precision = 2);
+    static std::string percent(double frac, int precision = 1);
+    static std::string watts(double w, int precision = 1);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace apc::analysis
+
+#endif // APC_ANALYSIS_TABLE_PRINTER_H

@@ -1,0 +1,95 @@
+#include "analysis/trace.h"
+
+namespace apc::analysis {
+
+TraceRecorder::TraceRecorder(soc::Soc &soc, bool trace_cores) : soc_(soc)
+{
+    // Package-level state: recompute on the same triggers Soc uses.
+    soc_.allIdle().subscribe([this](bool) {
+        record("pkg", soc::pkgStateName(soc_.pkgState()));
+    });
+    soc_.gpmu().onStateChange([this](uncore::Gpmu::State) {
+        record("pkg", soc::pkgStateName(soc_.pkgState()));
+    });
+    if (auto *apmu = soc_.apmu()) {
+        apmu->onStateChange([this](core::Apmu::State) {
+            record("pkg", soc::pkgStateName(soc_.pkgState()));
+        });
+        apmu->allCoresCc1().subscribe([this](bool v) {
+            record("wire", std::string("InCC1=") + (v ? "1" : "0"));
+        });
+        apmu->allIosL0s().subscribe([this](bool v) {
+            record("wire", std::string("InL0s=") + (v ? "1" : "0"));
+        });
+        apmu->inPc1a().subscribe([this](bool v) {
+            record("wire", std::string("InPC1A=") + (v ? "1" : "0"));
+        });
+    }
+    soc_.clm().pwrOk().subscribe([this](bool v) {
+        record("wire", std::string("PwrOk=") + (v ? "1" : "0"));
+    });
+    for (std::size_t i = 0; i < soc_.numMcs(); ++i) {
+        soc_.mc(i).allowCkeOff().subscribe([this, i](bool v) {
+            record("wire", "mc" + std::to_string(i) +
+                               ".Allow_CKE_OFF=" + (v ? "1" : "0"));
+        });
+    }
+    if (trace_cores) {
+        for (std::size_t i = 0; i < soc_.numCores(); ++i) {
+            soc_.core(i).inCc1().subscribe([this, i](bool v) {
+                record("core", "core" + std::to_string(i) + ".InCC1=" +
+                                   (v ? "1" : "0"));
+            });
+        }
+    }
+}
+
+void
+TraceRecorder::record(const char *kind, std::string detail)
+{
+    events_.push_back(
+        TraceEvent{soc_.sim().now(), kind, std::move(detail)});
+}
+
+std::size_t
+TraceRecorder::countKind(const std::string &kind) const
+{
+    std::size_t n = 0;
+    for (const auto &e : events_)
+        if (e.kind == kind)
+            ++n;
+    return n;
+}
+
+std::size_t
+TraceRecorder::count(const std::string &kind,
+                     const std::string &detail) const
+{
+    std::size_t n = 0;
+    for (const auto &e : events_)
+        if (e.kind == kind && e.detail == detail)
+            ++n;
+    return n;
+}
+
+void
+TraceRecorder::writeCsv(std::FILE *out) const
+{
+    std::fprintf(out, "time_us,kind,detail\n");
+    for (const auto &e : events_)
+        std::fprintf(out, "%.4f,%s,%s\n", sim::toMicros(e.when),
+                     e.kind.c_str(), e.detail.c_str());
+}
+
+bool
+TraceRecorder::writeCsv(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    writeCsv(f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace apc::analysis

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * SoCWatch-style event tracing.
+ *
+ * The paper's methodology (Sec. 6) builds on SoCWatch traces of C-state
+ * transition events. `TraceRecorder` reproduces that workflow against
+ * the simulator: it subscribes to a Soc's package-state changes and the
+ * APC control wires, buffers timestamped events, and renders them as
+ * CSV for offline analysis (or assertions in tests).
+ */
+
+#ifndef APC_ANALYSIS_TRACE_H
+#define APC_ANALYSIS_TRACE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "soc/soc.h"
+
+namespace apc::analysis {
+
+/** One recorded event. */
+struct TraceEvent
+{
+    sim::Tick when = 0;
+    std::string kind;   ///< "pkg", "wire", "core", ...
+    std::string detail; ///< e.g. "PC1A", "InL0s=1"
+};
+
+/** Records state/wire transitions from a Soc. */
+class TraceRecorder
+{
+  public:
+    /**
+     * Attach to @p soc. Subscribes to the package-state machinery that
+     * exists under the SoC's policy (APMU wires only when present).
+     *
+     * @param trace_cores also record per-core InCC1 edges (verbose)
+     */
+    explicit TraceRecorder(soc::Soc &soc, bool trace_cores = false);
+
+    /** Recorded events in order. */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Number of events with the given kind. */
+    std::size_t countKind(const std::string &kind) const;
+
+    /** Number of events matching kind and detail exactly. */
+    std::size_t count(const std::string &kind,
+                      const std::string &detail) const;
+
+    /** Render as CSV ("time_us,kind,detail"). */
+    void writeCsv(std::FILE *out) const;
+
+    /** Render to a file; @return false on IO failure. */
+    bool writeCsv(const std::string &path) const;
+
+    /** Drop all recorded events. */
+    void clear() { events_.clear(); }
+
+  private:
+    void record(const char *kind, std::string detail);
+
+    soc::Soc &soc_;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace apc::analysis
+
+#endif // APC_ANALYSIS_TRACE_H

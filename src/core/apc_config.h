@@ -1,0 +1,68 @@
+/**
+ * @file
+ * AgilePkgC configuration, including the ablation switches for the four
+ * key techniques the paper builds PC1A from (Sec. 4):
+ *
+ *  1. hardware APMU FSM (this module),
+ *  2. IOSM — shallow IO states (L0s/L0p) + DRAM CKE-off,
+ *  3. CLMR — CLM clock gating + FIVR retention voltage,
+ *  4. keeping all PLLs locked.
+ *
+ * Disabling a switch substitutes the legacy (deep/off) behaviour for
+ * that technique so `bench_ablation` can quantify each design choice.
+ */
+
+#ifndef APC_CORE_APC_CONFIG_H
+#define APC_CORE_APC_CONFIG_H
+
+#include "sim/time.h"
+
+namespace apc::core {
+
+/** APC / APMU configuration. */
+struct ApcConfig
+{
+    bool enabled = true;
+
+    /** APMU FSM clock (paper Sec. 5.5: 500 MHz). */
+    double clockHz = 500e6;
+
+    /** Long-distance signal / AND-tree propagation delay. */
+    sim::Tick signalProp = 2 * sim::kNs;
+
+    // --- Ablation switches (all true = the paper's APC) ---
+
+    /** CLMR: gate CLM clocks and drop the rails to retention. */
+    bool useClmr = true;
+
+    /** IOSM link half: allow PCIe/DMI/UPI into L0s/L0p. When false the
+     *  links are sent to L1 instead (legacy behaviour, µs-scale exit). */
+    bool useShallowLinks = true;
+
+    /** IOSM DRAM half: CKE-off power-down. When false DRAM goes to
+     *  self-refresh instead (legacy behaviour, µs-scale exit). */
+    bool useCkeOff = true;
+
+    /** Keep the 8 non-core PLLs locked in PC1A. When false they are
+     *  powered off and exit pays the relock latency. */
+    bool keepPllsOn = true;
+
+    /**
+     * Minimum time after a PC1A exit before re-entry is attempted.
+     * The paper's APMU has no such rate limiting (0); the knob exists
+     * to test whether one is needed — `bench_hysteresis` shows it is
+     * not, because transitions cost only ~160 ns.
+     */
+    sim::Tick entryHysteresis = 0;
+
+    /** One APMU clock period in ticks. */
+    sim::Tick
+    cycle() const
+    {
+        return sim::clockPeriod(clockHz);
+    }
+};
+
+} // namespace apc::core
+
+#endif // APC_CORE_APC_CONFIG_H

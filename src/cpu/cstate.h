@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Core C-state definitions (paper Sec. 3.1).
+ *
+ * Skylake server cores expose CC0 (active), CC1, CC1E and CC6. Higher
+ * numbers are deeper: lower power, higher transition latency. Datacenter
+ * operators disable CC1E/CC6 (the paper's Cshallow baseline); the Cdeep
+ * configuration enables everything.
+ */
+
+#ifndef APC_CPU_CSTATE_H
+#define APC_CPU_CSTATE_H
+
+#include <array>
+#include <cstddef>
+
+#include "sim/time.h"
+
+namespace apc::cpu {
+
+/** Core C-states, deepest last. */
+enum class CState : std::size_t
+{
+    CC0 = 0, ///< active, executing
+    CC1 = 1, ///< shallow halt: clock-gated core, ns–µs exit
+    CC1E = 2, ///< CC1 + lowest P-state
+    CC6 = 3, ///< deep: core power-gated, state saved; ~133 µs transition
+};
+
+inline constexpr std::size_t kNumCStates = 4;
+
+/** Display name. */
+constexpr const char *
+cstateName(CState s)
+{
+    switch (s) {
+      case CState::CC0:
+        return "CC0";
+      case CState::CC1:
+        return "CC1";
+      case CState::CC1E:
+        return "CC1E";
+      case CState::CC6:
+        return "CC6";
+    }
+    return "?";
+}
+
+/** Per-C-state parameters. */
+struct CStateParams
+{
+    sim::Tick entryLatency = 0; ///< time to reach the state from CC0
+    sim::Tick exitLatency = 0;  ///< time to return to CC0
+    /** Governor hint: minimum idle length for the state to pay off. */
+    sim::Tick targetResidency = 0;
+    double powerWatts = 0.0;    ///< draw while resident
+};
+
+/** Set of enabled idle states (CC0 is always implicitly enabled). */
+struct CStateMask
+{
+    std::array<bool, kNumCStates> enabled{true, true, false, false};
+
+    bool
+    isEnabled(CState s) const
+    {
+        return enabled[static_cast<std::size_t>(s)];
+    }
+
+    /** Deepest enabled idle state (at least CC1). */
+    CState
+    deepest() const
+    {
+        CState d = CState::CC1;
+        for (std::size_t i = kNumCStates; i-- > 1;) {
+            if (enabled[i]) {
+                d = static_cast<CState>(i);
+                break;
+            }
+        }
+        return d;
+    }
+
+    /** Cshallow: only CC1 (vendor guidance for latency-critical). */
+    static CStateMask
+    shallowOnly()
+    {
+        return CStateMask{{true, true, false, false}};
+    }
+
+    /** Cdeep: all idle states enabled. */
+    static CStateMask
+    allEnabled()
+    {
+        return CStateMask{{true, true, true, true}};
+    }
+};
+
+} // namespace apc::cpu
+
+#endif // APC_CPU_CSTATE_H

@@ -1,0 +1,53 @@
+#include "cpu/governor.h"
+
+namespace apc::cpu {
+
+sim::Tick
+LadderGovernor::promoteAfter(CState current, CState &next_out)
+{
+    switch (current) {
+      case CState::CC1:
+        if (cfg_.mask.isEnabled(CState::CC1E)) {
+            next_out = CState::CC1E;
+            return cfg_.cc1ToCc1e;
+        }
+        if (cfg_.mask.isEnabled(CState::CC6)) {
+            next_out = CState::CC6;
+            return cfg_.cc1ToCc1e + cfg_.cc1eToCc6;
+        }
+        return sim::kTickNever;
+      case CState::CC1E:
+        if (cfg_.mask.isEnabled(CState::CC6)) {
+            next_out = CState::CC6;
+            return cfg_.cc1eToCc6;
+        }
+        return sim::kTickNever;
+      default:
+        return sim::kTickNever;
+    }
+}
+
+CState
+MenuGovernor::initialState()
+{
+    CState best = CState::CC1;
+    for (std::size_t i = 1; i < kNumCStates; ++i) {
+        const auto s = static_cast<CState>(i);
+        if (!cfg_.mask.isEnabled(s))
+            continue;
+        if (cfg_.params[i].targetResidency <= predicted_)
+            best = s;
+    }
+    return best;
+}
+
+void
+MenuGovernor::recordIdle(sim::Tick duration)
+{
+    const double a = cfg_.ewmaAlpha;
+    predicted_ = static_cast<sim::Tick>(
+        a * static_cast<double>(duration)
+        + (1.0 - a) * static_cast<double>(predicted_));
+}
+
+} // namespace apc::cpu

@@ -1,0 +1,52 @@
+#include "cpu/pstate.h"
+
+#include <algorithm>
+
+namespace apc::cpu {
+
+PStateTable
+PStateTable::skxDefaults()
+{
+    // Min 0.8 GHz, nominal 2.2 GHz, Turbo Boost 3.0 GHz (paper Sec. 6);
+    // voltages interpolated across the Skylake-SP VF curve.
+    return PStateTable({{0.8, 0.70},
+                        {1.2, 0.72},
+                        {1.6, 0.75},
+                        {2.0, 0.78},
+                        {2.2, 0.80},
+                        {3.0, 0.92}},
+                       4);
+}
+
+double
+PStateTable::activePowerWatts(double nominal_watts, std::size_t i) const
+{
+    const auto &p = points_[i];
+    const auto &n = nominal();
+    const double v = p.volts / n.volts;
+    const double f = p.freqGhz / n.freqGhz;
+    return nominal_watts * v * v * f;
+}
+
+std::size_t
+PStateTable::indexForFrequency(double ghz) const
+{
+    for (std::size_t i = 0; i < points_.size(); ++i)
+        if (points_[i].freqGhz >= ghz)
+            return i;
+    return points_.size() - 1;
+}
+
+std::size_t
+dvfsNextPState(const PStateTable &table, const DvfsConfig &cfg,
+               std::size_t current, double util)
+{
+    if (util >= cfg.burstUtil)
+        return table.size() - 1; // race to max on saturation
+    // Frequency needed to bring utilization to the target.
+    const double cur_ghz = table.point(current).freqGhz;
+    const double needed = cur_ghz * util / cfg.targetUtil;
+    return table.indexForFrequency(needed);
+}
+
+} // namespace apc::cpu

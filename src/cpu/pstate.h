@@ -1,0 +1,91 @@
+/**
+ * @file
+ * P-state (DVFS) model.
+ *
+ * The paper's configurations pin the frequency (performance/powersave
+ * governor, P-states disabled) precisely because fine-grained DVFS
+ * management is the *competing* approach to APC (Sec. 8: Rubik, Swan,
+ * NMAP). To reproduce that comparison we model the Xeon Silver 4114's
+ * frequency/voltage operating points and an ondemand-style governor;
+ * `bench_race_to_halt` then pits DVFS against race-to-halt + PC1A.
+ *
+ * Core active power scales as P ∝ V²·f relative to the nominal point;
+ * CPU-bound service time scales as f_nominal / f.
+ */
+
+#ifndef APC_CPU_PSTATE_H
+#define APC_CPU_PSTATE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace apc::cpu {
+
+/** One frequency/voltage operating point. */
+struct PState
+{
+    double freqGhz = 2.2;
+    double volts = 0.8;
+};
+
+/** Ordered table of operating points (slowest first). */
+class PStateTable
+{
+  public:
+    explicit PStateTable(std::vector<PState> points,
+                         std::size_t nominal_index)
+        : points_(std::move(points)), nominal_(nominal_index)
+    {}
+
+    /**
+     * Xeon Silver 4114: 0.8 GHz min, 2.2 GHz nominal, 3.0 GHz turbo
+     * (paper Sec. 6), with interpolated voltage points.
+     */
+    static PStateTable skxDefaults();
+
+    std::size_t size() const { return points_.size(); }
+    const PState &point(std::size_t i) const { return points_[i]; }
+    std::size_t nominalIndex() const { return nominal_; }
+    const PState &nominal() const { return points_[nominal_]; }
+
+    /**
+     * Active power at point @p i given the nominal-point active power:
+     * P = P_nom * (V/V_nom)^2 * (f/f_nom).
+     */
+    double activePowerWatts(double nominal_watts, std::size_t i) const;
+
+    /** Service-time dilation at point @p i: f_nom / f. */
+    double
+    slowdown(std::size_t i) const
+    {
+        return nominal().freqGhz / points_[i].freqGhz;
+    }
+
+    /** Smallest point whose frequency is >= @p ghz (clamps to max). */
+    std::size_t indexForFrequency(double ghz) const;
+
+  private:
+    std::vector<PState> points_;
+    std::size_t nominal_;
+};
+
+/**
+ * Ondemand-style DVFS policy: every sampling interval, pick per core
+ * the lowest frequency that keeps its utilization below the target.
+ */
+struct DvfsConfig
+{
+    bool enabled = false;
+    /** Sampling interval (ondemand's default order of magnitude). */
+    double targetUtil = 0.80;
+    /** Utilization above which the governor jumps straight to max. */
+    double burstUtil = 0.95;
+};
+
+/** Governor decision: next frequency for a core given its utilization. */
+std::size_t dvfsNextPState(const PStateTable &table, const DvfsConfig &cfg,
+                           std::size_t current, double util);
+
+} // namespace apc::cpu
+
+#endif // APC_CPU_PSTATE_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * IO link power states (paper Sec. 3.1).
+ *
+ * High-speed IO links (PCIe, DMI, UPI) support L-states: L0 active, L0s
+ * standby (lanes asleep, PLL on, <64 ns exit), L0p (half-width, ~10 ns
+ * exit; UPI's shallow state), and L1 (link off, PLL off, µs-scale
+ * retrain). Datacenter tuning guides disable everything below L0; APC
+ * re-enables the shallow states only while all cores are idle.
+ */
+
+#ifndef APC_IO_LSTATE_H
+#define APC_IO_LSTATE_H
+
+#include <cstddef>
+
+namespace apc::io {
+
+/** Link power states, shallow to deep. */
+enum class LState : std::size_t
+{
+    L0 = 0,  ///< active: full bandwidth, minimum latency
+    L0s = 1, ///< standby: lanes asleep, clocks on
+    L0p = 2, ///< partial width (UPI); faster exit than L0s
+    L1 = 3,  ///< link off; retrain + PLL relock to resume
+};
+
+inline constexpr std::size_t kNumLStates = 4;
+
+/** Display name. */
+constexpr const char *
+lstateName(LState s)
+{
+    switch (s) {
+      case LState::L0:
+        return "L0";
+      case LState::L0s:
+        return "L0s";
+      case LState::L0p:
+        return "L0p";
+      case LState::L1:
+        return "L1";
+    }
+    return "?";
+}
+
+} // namespace apc::io
+
+#endif // APC_IO_LSTATE_H

@@ -1,0 +1,22 @@
+#include "power/clock_tree.h"
+
+namespace apc::power {
+
+ClockTree::ClockTree(sim::Simulation &sim, std::string name,
+                     const ClockTreeConfig &cfg)
+    : sim_(sim), cfg_(cfg), running_(sim, name + ".running", true)
+{}
+
+void
+ClockTree::gate()
+{
+    running_.writeAfter(cfg_.gateLatency, false);
+}
+
+void
+ClockTree::ungate()
+{
+    running_.writeAfter(cfg_.gateLatency, true);
+}
+
+} // namespace apc::power

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * RAPL-style power planes.
+ *
+ * The paper measures two planes via Intel RAPL (Sec. 5.4): `Package` (the
+ * processor SoC) and `Dram` (the DRAM devices). Every power load in the
+ * simulator is attributed to one of these planes.
+ */
+
+#ifndef APC_POWER_PLANE_H
+#define APC_POWER_PLANE_H
+
+#include <cstddef>
+
+namespace apc::power {
+
+/** Power measurement plane, mirroring RAPL domains. */
+enum class Plane : std::size_t
+{
+    Package = 0, ///< RAPL.Package: cores + uncore + IOs + PHYs
+    Dram = 1,    ///< RAPL.DRAM: DRAM devices
+};
+
+inline constexpr std::size_t kNumPlanes = 2;
+
+/** Short display name for a plane. */
+constexpr const char *
+planeName(Plane p)
+{
+    return p == Plane::Package ? "Package" : "DRAM";
+}
+
+} // namespace apc::power
+
+#endif // APC_POWER_PLANE_H

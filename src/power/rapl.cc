@@ -1,0 +1,26 @@
+#include "power/rapl.h"
+
+namespace apc::power {
+
+RaplSample
+Rapl::readCounter(Plane plane) const
+{
+    RaplSample s;
+    s.when = meter_.sim().now();
+    s.counter = static_cast<std::uint64_t>(
+        meter_.planeEnergy(plane) / unitJ_);
+    return s;
+}
+
+double
+Rapl::averagePower(const RaplSample &before, const RaplSample &after) const
+{
+    const sim::Tick dt = after.when - before.when;
+    if (dt <= 0)
+        return 0.0;
+    const double joules =
+        static_cast<double>(after.counter - before.counter) * unitJ_;
+    return joules / sim::toSeconds(dt);
+}
+
+} // namespace apc::power

@@ -1,0 +1,329 @@
+#include "server/server_sim.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apc::server {
+
+double
+ServerResult::idlePeriodFraction(double lo_us, double hi_us) const
+{
+    return idlePeriodsUs.fractionBetween(lo_us, hi_us);
+}
+
+ServerSim::ServerSim(ServerConfig cfg)
+    : cfg_(std::move(cfg)), sim_(cfg_.seed)
+{
+    const soc::SkxConfig skx = cfg_.skxOverride
+        ? *cfg_.skxOverride
+        : soc::SkxConfig::forPolicy(cfg_.policy);
+    soc_ = std::make_unique<soc::Soc>(sim_, skx, cfg_.policy);
+    if (cfg_.numa.enabled)
+        remoteSoc_ = std::make_unique<soc::Soc>(sim_, skx, cfg_.policy);
+    arrivals_ = cfg_.workload.makeArrivals();
+    service_ = cfg_.workload.makeService();
+    ctx_.resize(soc_->numCores());
+}
+
+ServerSim::~ServerSim() = default;
+
+void
+ServerSim::recordLatency(sim::Tick end_to_end)
+{
+    if (sim_.now() < measureStart_)
+        return;
+    ++requests_;
+    const double us = sim::toMicros(end_to_end);
+    latencyUs_.record(us);
+    latencyHistUs_.record(us);
+}
+
+void
+ServerSim::scheduleNextArrival()
+{
+    if (cfg_.workload.qps <= 0)
+        return;
+    sim_.after(arrivals_->nextGap(sim_.rng()), [this] { onArrival(); });
+}
+
+void
+ServerSim::onArrival()
+{
+    scheduleNextArrival();
+    const bool coalesced =
+        sim_.now() - lastArrival_ <= cfg_.workload.coalesceWindow;
+    lastArrival_ = sim_.now();
+    const Request r{sim_.now(), service_->sample(sim_.rng()), coalesced};
+    // RX over the NIC link (wakes it from L0s/L1 as needed), then wait
+    // for the path to memory before the request can be dispatched.
+    soc_->nic().transfer(cfg_.workload.nicTransfer, [this, r] {
+        soc_->whenFabricReady([this, r] { assign(r); });
+    });
+}
+
+void
+ServerSim::assign(const Request &r)
+{
+    // RSS-style hashing: connections spread ~uniformly across cores.
+    const auto idx = static_cast<std::size_t>(sim_.rng().uniformInt(
+        0, static_cast<std::int64_t>(soc_->numCores()) - 1));
+    ctx_[idx].queue.push_back(r);
+    pump(idx);
+}
+
+void
+ServerSim::pump(std::size_t idx)
+{
+    auto &ctx = ctx_[idx];
+    if (ctx.processing || ctx.queue.empty())
+        return;
+    ctx.processing = true;
+    const bool was_active = soc_->core(idx).isActive();
+    soc_->core(idx).requestWake([this, idx, was_active] {
+        serveFront(idx, was_active);
+    });
+}
+
+void
+ServerSim::serveFront(std::size_t idx, bool was_active)
+{
+    auto &ctx = ctx_[idx];
+    assert(ctx.processing && !ctx.queue.empty());
+    const Request r = ctx.queue.front();
+    ctx.queue.pop_front();
+
+    sim::Tick work = r.service
+        + (was_active ? 0
+                      : (r.coalesced ? cfg_.workload.wakeOverheadCoalesced
+                                     : cfg_.workload.wakeOverhead));
+    // CPU-bound work dilates when DVFS has lowered the frequency.
+    work = static_cast<sim::Tick>(static_cast<double>(work)
+                                  * ctx.slowdown);
+    auto &mc = soc_->mc(idx % soc_->numMcs());
+    mc.beginAccess();
+
+    // The request completes when the local work has run *and* any
+    // remote memory access has returned over UPI.
+    auto pending = std::make_shared<int>(1);
+    auto finish = [this, idx, r, &mc, pending] {
+        if (--*pending > 0)
+            return;
+        mc.endAccess();
+        recordLatency(sim_.now() - r.arrival + cfg_.networkLatency);
+        // Response TX (fire-and-forget; keeps the NIC link busy).
+        soc_->nic().transfer(cfg_.workload.nicTransfer, nullptr);
+        // TX-completion softirq: IRQ affinity spreads the network
+        // stack's completion work onto another core.
+        scheduleSoftirq(idx);
+        auto &c = ctx_[idx];
+        c.processing = false;
+        if (!c.queue.empty())
+            pump(idx);
+        else
+            soc_->core(idx).release();
+    };
+    if (cfg_.numa.enabled &&
+        sim_.rng().bernoulli(cfg_.numa.remoteFraction)) {
+        ++*pending;
+        remoteAccess(finish);
+    }
+    sim_.after(work, finish);
+}
+
+void
+ServerSim::remoteAccess(std::function<void()> done)
+{
+    // Local UPI lanes stay busy for the round trip; the remote socket's
+    // UPI link wake doubles as its package wake (APMU IO-wake path).
+    auto &local_upi = soc_->link(4);
+    local_upi.beginTransaction();
+    auto &remote_upi = remoteSoc_->link(4);
+    remote_upi.transfer(cfg_.numa.upiHop, [this, &local_upi,
+                                           done = std::move(done)] {
+        remoteSoc_->whenFabricReady([this, &local_upi,
+                                     done = std::move(done)] {
+            const auto mc_idx = static_cast<std::size_t>(
+                sim_.rng().uniformInt(0, 1));
+            remoteSoc_->mc(mc_idx).access(
+                cfg_.numa.remoteHold,
+                [this, &local_upi, done = std::move(done)] {
+                    // Response hop back over UPI.
+                    sim_.after(cfg_.numa.upiHop,
+                               [&local_upi, done = std::move(done)] {
+                        local_upi.endTransaction();
+                        if (done)
+                            done();
+                    });
+                });
+        });
+    });
+}
+
+void
+ServerSim::scheduleSoftirq(std::size_t origin)
+{
+    const sim::Tick work = cfg_.workload.softirqWork;
+    if (work <= 0 || soc_->numCores() < 2)
+        return;
+    // Pick a core other than the application thread's.
+    auto idx = static_cast<std::size_t>(sim_.rng().uniformInt(
+        0, static_cast<std::int64_t>(soc_->numCores()) - 2));
+    if (idx >= origin)
+        ++idx;
+    runKernelTask(idx, work);
+}
+
+void
+ServerSim::runKernelTask(std::size_t idx, sim::Tick work)
+{
+    auto &ctx = ctx_[idx];
+    if (ctx.processing)
+        return; // absorbed into ongoing work on that core
+    ctx.processing = true;
+    soc_->core(idx).requestWake([this, idx, work] {
+        sim_.after(work, [this, idx] {
+            auto &c = ctx_[idx];
+            c.processing = false;
+            if (!c.queue.empty())
+                pump(idx);
+            else
+                soc_->core(idx).release();
+        });
+    });
+}
+
+void
+ServerSim::scheduleTimerTick()
+{
+    const auto &noise = cfg_.workload.noise;
+    if (!noise.enabled)
+        return;
+    sim_.after(noise.tickPeriod, [this] {
+        scheduleTimerTick();
+        runKernelTask(0, cfg_.workload.noise.tickWork);
+    });
+}
+
+void
+ServerSim::scheduleDvfsSample()
+{
+    if (!cfg_.dvfs.enabled)
+        return;
+    sim_.after(cfg_.dvfsInterval, [this] {
+        scheduleDvfsSample();
+        const sim::Tick now = sim_.now();
+        for (std::size_t i = 0; i < soc_->numCores(); ++i) {
+            auto &ctx = ctx_[i];
+            auto &core = soc_->core(i);
+            const sim::Tick cc0 = core.residency().timeIn(
+                static_cast<std::size_t>(cpu::CState::CC0), now);
+            const double util =
+                static_cast<double>(cc0 - ctx.lastCc0Time) /
+                static_cast<double>(cfg_.dvfsInterval);
+            ctx.lastCc0Time = cc0;
+            ctx.pstate = cpu::dvfsNextPState(pstates_, cfg_.dvfs,
+                                             ctx.pstate, util);
+            ctx.slowdown = pstates_.slowdown(ctx.pstate);
+            core.setActivePower(pstates_.activePowerWatts(
+                core.config().cstates[0].powerWatts, ctx.pstate));
+        }
+    });
+}
+
+ServerResult
+ServerSim::run()
+{
+    // All cores start idle; the workload wakes them. The remote socket
+    // (if any) has no runnable work at all.
+    for (std::size_t i = 0; i < soc_->numCores(); ++i)
+        soc_->core(i).release();
+    if (remoteSoc_)
+        for (std::size_t i = 0; i < remoteSoc_->numCores(); ++i)
+            remoteSoc_->core(i).release();
+
+    // DVFS (when enabled) starts from the nominal point.
+    for (auto &ctx : ctx_)
+        ctx.pstate = pstates_.nominalIndex();
+
+    scheduleNextArrival();
+    scheduleTimerTick();
+    scheduleDvfsSample();
+
+    measureStart_ = sim_.now() + cfg_.warmup;
+    power::RaplSample pkg0, dram0;
+    power::RaplSample rpkg0, rdram0;
+    sim_.at(measureStart_, [&] {
+        soc_->resetStats();
+        pkg0 = soc_->rapl().readCounter(power::Plane::Package);
+        dram0 = soc_->rapl().readCounter(power::Plane::Dram);
+        if (remoteSoc_) {
+            remoteSoc_->resetStats();
+            rpkg0 = remoteSoc_->rapl().readCounter(
+                power::Plane::Package);
+            rdram0 = remoteSoc_->rapl().readCounter(power::Plane::Dram);
+        }
+    });
+
+    const sim::Tick end = measureStart_ + cfg_.duration;
+    sim_.runUntil(end);
+
+    const auto pkg1 = soc_->rapl().readCounter(power::Plane::Package);
+    const auto dram1 = soc_->rapl().readCounter(power::Plane::Dram);
+
+    ServerResult res;
+    res.requests = requests_;
+    res.achievedQps =
+        static_cast<double>(requests_) / sim::toSeconds(cfg_.duration);
+    res.pkgPowerW = soc_->rapl().averagePower(pkg0, pkg1);
+    res.dramPowerW = soc_->rapl().averagePower(dram0, dram1);
+    res.avgLatencyUs = latencyUs_.mean();
+    res.p50LatencyUs = latencyHistUs_.p50();
+    res.p95LatencyUs = latencyHistUs_.p95();
+    res.p99LatencyUs = latencyHistUs_.p99();
+    res.maxLatencyUs = latencyUs_.max();
+
+    const sim::Tick now = sim_.now();
+    for (std::size_t s = 0; s < soc::kNumPkgStates; ++s)
+        res.pkgResidency[s] = soc_->pkgResidency().residency(s, now);
+    for (std::size_t s = 0; s < cpu::kNumCStates; ++s) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < soc_->numCores(); ++i)
+            acc += soc_->core(i).residency().residency(s, now);
+        res.coreResidency[s] = acc / static_cast<double>(soc_->numCores());
+    }
+    res.utilization =
+        res.coreResidency[static_cast<std::size_t>(cpu::CState::CC0)];
+    const double window = sim::toSeconds(cfg_.duration);
+    res.allIdleFraction =
+        sim::toSeconds(soc_->fullIdleTime()) / window;
+    res.socWatchIdleFraction =
+        sim::toSeconds(soc_->socWatchIdleTime()) / window;
+    res.idlePeriodsUs = soc_->idlePeriodsUs();
+
+    if (auto *apmu = soc_->apmu()) {
+        res.pc1aEntries = apmu->pc1aEntries();
+        res.apmuEntryNsAvg = apmu->entryLatencyNs().mean();
+        res.apmuEntryNsMax = apmu->entryLatencyNs().max();
+        res.apmuExitNsAvg = apmu->exitLatencyNs().mean();
+        res.apmuExitNsMax = apmu->exitLatencyNs().max();
+    }
+    if (remoteSoc_) {
+        const auto rpkg1 =
+            remoteSoc_->rapl().readCounter(power::Plane::Package);
+        const auto rdram1 =
+            remoteSoc_->rapl().readCounter(power::Plane::Dram);
+        res.remotePkgPowerW =
+            remoteSoc_->rapl().averagePower(rpkg0, rpkg1);
+        res.remoteDramPowerW =
+            remoteSoc_->rapl().averagePower(rdram0, rdram1);
+        res.remotePc1aResidency = remoteSoc_->pkgResidency().residency(
+            static_cast<std::size_t>(soc::PkgState::Pc1a), now);
+        res.remoteWakes = remoteSoc_->link(4).shallowWakes();
+    }
+    res.pc6Entries = soc_->gpmu().pc6Entries();
+    res.pc6EntryUsAvg = soc_->gpmu().entryLatencyUs().mean();
+    res.pc6ExitUsAvg = soc_->gpmu().exitLatencyUs().mean();
+    return res;
+}
+
+} // namespace apc::server

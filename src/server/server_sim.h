@@ -1,0 +1,204 @@
+/**
+ * @file
+ * End-to-end server simulation (paper Sec. 6 methodology).
+ *
+ * Drives a workload against the composed SoC: requests arrive over the
+ * NIC link, wait for the fabric (CLM + memory controllers) to be open,
+ * are RSS-hashed to a core, wake that core if needed, execute, and
+ * respond over the NIC. End-to-end latency adds the constant ~117 µs
+ * network round trip the paper reports.
+ *
+ * This is where APC's transition costs become visible in request latency
+ * and where the package residency opportunity (Fig. 6) comes from.
+ */
+
+#ifndef APC_SERVER_SERVER_SIM_H
+#define APC_SERVER_SERVER_SIM_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cpu/pstate.h"
+#include "soc/soc.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+#include "workload/workload.h"
+
+namespace apc::server {
+
+/**
+ * Dual-socket (NUMA) extension: a second, otherwise-idle socket serves
+ * a fraction of memory accesses over UPI (memory-expansion / far-NUMA
+ * usage). Remote traffic punctures the remote socket's package idle
+ * state; APC's IO-wake path bounds that cost at nanoseconds where the
+ * legacy PC6 would pay tens of microseconds per touch.
+ */
+struct NumaConfig
+{
+    bool enabled = false;
+    /** Fraction of requests touching remote memory. */
+    double remoteFraction = 0.2;
+    /** One-way UPI hop latency. */
+    sim::Tick upiHop = 140 * sim::kNs;
+    /** Remote memory-controller occupancy per touched request. */
+    sim::Tick remoteHold = 1 * sim::kUs;
+};
+
+/** One simulated run's setup. */
+struct ServerConfig
+{
+    soc::PackagePolicy policy = soc::PackagePolicy::Cshallow;
+    workload::WorkloadConfig workload =
+        workload::WorkloadConfig::memcachedEtc(10000);
+    sim::Tick networkLatency = 117 * sim::kUs; ///< paper Sec. 7.3
+    sim::Tick warmup = 20 * sim::kMs;
+    sim::Tick duration = 1 * sim::kSec;
+    std::uint64_t seed = 42;
+    /** Ondemand-style DVFS (paper Sec. 8 comparison); off by default,
+     *  matching the paper's pinned-frequency configurations. */
+    cpu::DvfsConfig dvfs{};
+    sim::Tick dvfsInterval = 10 * sim::kMs;
+    /** Dual-socket remote-memory extension. */
+    NumaConfig numa{};
+    /** When set, overrides the policy-derived SoC config (ablations). */
+    std::unique_ptr<soc::SkxConfig> skxOverride;
+};
+
+/** Aggregated metrics from one run. */
+struct ServerResult
+{
+    std::uint64_t requests = 0;
+    double achievedQps = 0.0;
+
+    // Power (RAPL-style averages over the measurement window).
+    double pkgPowerW = 0.0;
+    double dramPowerW = 0.0;
+    double totalPowerW() const { return pkgPowerW + dramPowerW; }
+
+    // End-to-end latency, microseconds.
+    double avgLatencyUs = 0.0;
+    double p50LatencyUs = 0.0;
+    double p95LatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
+    double maxLatencyUs = 0.0;
+
+    // Package-state residency fractions.
+    std::array<double, soc::kNumPkgStates> pkgResidency{};
+
+    // Core C-state residency averaged over cores.
+    std::array<double, cpu::kNumCStates> coreResidency{};
+
+    /** Average CC0 fraction — the "processor utilization" the paper
+     *  quotes. */
+    double utilization = 0.0;
+
+    /** Fraction of time all cores idle simultaneously. */
+    double allIdleFraction = 0.0;
+
+    /** Ditto as SoCWatch would see it (≥10 µs periods only): the
+     *  paper's "PC1A opportunity" metric (Fig. 6b). */
+    double socWatchIdleFraction = 0.0;
+
+    /** Fraction of fully-idle periods with length in [lo, hi) µs. */
+    double idlePeriodFraction(double lo_us, double hi_us) const;
+
+    // APC statistics (zero unless the Cpc1a policy ran).
+    std::uint64_t pc1aEntries = 0;
+    double apmuEntryNsAvg = 0.0;
+    double apmuEntryNsMax = 0.0;
+    double apmuExitNsAvg = 0.0;
+    double apmuExitNsMax = 0.0;
+
+    // Remote socket (only meaningful with NumaConfig::enabled).
+    double remotePkgPowerW = 0.0;
+    double remoteDramPowerW = 0.0;
+    double remotePc1aResidency = 0.0;
+    std::uint64_t remoteWakes = 0;
+
+    // Legacy PC6 statistics (Cdeep).
+    std::uint64_t pc6Entries = 0;
+    double pc6EntryUsAvg = 0.0;
+    double pc6ExitUsAvg = 0.0;
+
+    /** Copy of the idle-period length distribution (µs). */
+    stats::Histogram idlePeriodsUs{0.01, 1e7, 32};
+
+    double pc1aResidency() const
+    {
+        return pkgResidency[static_cast<std::size_t>(soc::PkgState::Pc1a)];
+    }
+};
+
+/** The server-under-test simulator. */
+class ServerSim
+{
+  public:
+    explicit ServerSim(ServerConfig cfg);
+    ~ServerSim();
+
+    /** Run warmup + measurement; collect metrics. */
+    ServerResult run();
+
+    /** The SoC under test (valid after construction). */
+    soc::Soc &soc() { return *soc_; }
+
+    /** The remote socket; null unless NUMA is enabled. */
+    soc::Soc *remoteSoc() { return remoteSoc_.get(); }
+
+    sim::Simulation &sim() { return sim_; }
+
+  private:
+    struct Request
+    {
+        sim::Tick arrival;
+        sim::Tick service;
+        bool coalesced; ///< arrived within the NIC coalesce window
+    };
+
+    struct CoreCtx
+    {
+        std::deque<Request> queue;
+        bool processing = false;
+        // DVFS bookkeeping:
+        std::size_t pstate = 0;      ///< index into the P-state table
+        double slowdown = 1.0;       ///< service-time dilation
+        sim::Tick lastCc0Time = 0;   ///< CC0 residency at last sample
+    };
+
+    void scheduleNextArrival();
+    void onArrival();
+    void assign(const Request &r);
+    void pump(std::size_t idx);
+    void serveFront(std::size_t idx, bool was_active);
+    /** TX-completion softirq on a core other than @p origin. */
+    void scheduleSoftirq(std::size_t origin);
+    /** Short kernel-context work (softirq, timer tick) on core @p idx. */
+    void runKernelTask(std::size_t idx, sim::Tick work);
+    void scheduleTimerTick();
+    /** Issue a remote memory access chain; @p done when it completes. */
+    void remoteAccess(std::function<void()> done);
+    /** Periodic ondemand governor evaluation (when DVFS is enabled). */
+    void scheduleDvfsSample();
+    void recordLatency(sim::Tick end_to_end);
+
+    ServerConfig cfg_;
+    sim::Simulation sim_;
+    std::unique_ptr<soc::Soc> soc_;
+    std::unique_ptr<soc::Soc> remoteSoc_;
+    std::unique_ptr<workload::ArrivalProcess> arrivals_;
+    std::unique_ptr<workload::ServiceDist> service_;
+    std::vector<CoreCtx> ctx_;
+    sim::Tick measureStart_ = 0;
+    /** Far in the past so the first arrival never coalesces. */
+    sim::Tick lastArrival_ = -(sim::kTickNever / 2);
+    std::uint64_t requests_ = 0;
+    stats::Summary latencyUs_;
+    stats::Histogram latencyHistUs_{0.1, 1e7, 64};
+    cpu::PStateTable pstates_ = cpu::PStateTable::skxDefaults();
+};
+
+} // namespace apc::server
+
+#endif // APC_SERVER_SERVER_SIM_H

@@ -1,0 +1,70 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace apc::sim {
+
+EventHandle
+EventQueue::scheduleAt(Tick when, EventFn fn)
+{
+    assert(when >= now_ && "event scheduled in the past");
+    if (when < now_)
+        when = now_;
+    auto state = std::make_shared<EventHandle::State>();
+    heap_.push(Entry{when, nextSeq_++, std::move(fn), state});
+    ++live_;
+    return EventHandle(std::move(state));
+}
+
+bool
+EventQueue::skipDead()
+{
+    while (!heap_.empty() && heap_.top().state->cancelled) {
+        heap_.pop();
+        --live_;
+    }
+    return !heap_.empty();
+}
+
+bool
+EventQueue::step()
+{
+    if (!skipDead())
+        return false;
+    // priority_queue::top() is const; the entry must be moved out, so pop
+    // into a local copy. Entries are small (a function object).
+    Entry e = heap_.top();
+    heap_.pop();
+    assert(e.when >= now_);
+    now_ = e.when;
+    e.state->fired = true;
+    --live_;
+    ++executed_;
+    e.fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t n = 0;
+    while (skipDead() && heap_.top().when <= until) {
+        step();
+        ++n;
+    }
+    if (now_ < until)
+        now_ = until;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runAll()
+{
+    std::uint64_t n = 0;
+    while (step())
+        ++n;
+    return n;
+}
+
+} // namespace apc::sim

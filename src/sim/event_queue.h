@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Discrete-event queue for the AgilePkgC simulator.
+ *
+ * Events are (time, sequence, callback) triples kept in a binary min-heap.
+ * The monotonically increasing sequence number makes same-tick ordering
+ * deterministic (FIFO among events scheduled for the same tick).
+ *
+ * Scheduled events can be cancelled via the EventHandle returned at
+ * scheduling time; cancellation is O(1) (a tombstone flag) and the dead
+ * entry is dropped lazily when popped.
+ */
+
+#ifndef APC_SIM_EVENT_QUEUE_H
+#define APC_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace apc::sim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Cancellable reference to a scheduled event.
+ *
+ * Default-constructed handles are inert. Handles are cheap to copy; all
+ * copies refer to the same underlying event.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Cancel the event if it has not fired yet. Safe to call repeatedly. */
+    void
+    cancel()
+    {
+        if (state_)
+            state_->cancelled = true;
+    }
+
+    /** @return true if this handle refers to a not-yet-fired event. */
+    bool
+    pending() const
+    {
+        return state_ && !state_->cancelled && !state_->fired;
+    }
+
+    /** @return true if this handle refers to any event at all. */
+    bool valid() const { return state_ != nullptr; }
+
+  private:
+    friend class EventQueue;
+
+    struct State
+    {
+        bool cancelled = false;
+        bool fired = false;
+    };
+
+    explicit EventHandle(std::shared_ptr<State> state)
+        : state_(std::move(state))
+    {}
+
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * The central event queue. Owns simulated time: time only advances when
+ * events are popped.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @pre when >= now(); scheduling in the past is a simulator bug and
+     *      asserts in debug builds (clamped to now() otherwise).
+     */
+    EventHandle scheduleAt(Tick when, EventFn fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventHandle
+    scheduleAfter(Tick delay, EventFn fn)
+    {
+        return scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Run events until the queue is empty or simulated time would exceed
+     * @p until. Events scheduled exactly at @p until do run. Afterwards,
+     * now() == max(now, until) if the limit was reached.
+     *
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Tick until);
+
+    /** Run until the queue drains completely. @return events executed. */
+    std::uint64_t runAll();
+
+    /**
+     * Execute at most one pending event.
+     * @return true if an event was executed.
+     */
+    bool step();
+
+    /**
+     * Number of events still pending. Cancelled events are only removed
+     * lazily, so this is an upper bound until the queue is next polled.
+     */
+    std::size_t pendingEvents() const { return live_; }
+
+    /** Total events executed since construction. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+        std::shared_ptr<EventHandle::State> state;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop dead entries; @return true if a live entry is on top. */
+    bool skipDead();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::size_t live_ = 0;
+};
+
+} // namespace apc::sim
+
+#endif // APC_SIM_EVENT_QUEUE_H

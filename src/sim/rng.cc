@@ -1,0 +1,18 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace apc::sim {
+
+double
+Rng::boundedPareto(double alpha, double lo, double hi)
+{
+    // Inverse-CDF sampling of the bounded Pareto distribution.
+    const double u = uniform();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    const double x = -(u * ha - u * la - ha) / (ha * la);
+    return std::pow(x, -1.0 / alpha);
+}
+
+} // namespace apc::sim

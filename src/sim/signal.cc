@@ -1,0 +1,96 @@
+#include "sim/signal.h"
+
+#include <algorithm>
+
+namespace apc::sim {
+
+void
+Signal::write(bool v)
+{
+    // Any direct write supersedes in-flight delayed writes.
+    ++writeGen_;
+    if (v == value_)
+        return;
+    value_ = v;
+    if (v)
+        ++rising_;
+    else
+        ++falling_;
+    // Copy the subscriber list so observers may subscribe/unsubscribe
+    // (but not destroy the signal) from inside callbacks.
+    auto subs = subs_;
+    for (auto &s : subs)
+        s.fn(v);
+}
+
+void
+Signal::writeAfter(Tick delay, bool v)
+{
+    if (delay <= 0) {
+        write(v);
+        return;
+    }
+    const std::uint64_t gen = ++writeGen_;
+    sim_.after(delay, [this, gen, v] {
+        // Only apply if no newer write superseded this one.
+        if (writeGen_ != gen)
+            return;
+        // Apply without bumping the generation again.
+        if (v == value_)
+            return;
+        value_ = v;
+        if (v)
+            ++rising_;
+        else
+            ++falling_;
+        auto subs = subs_;
+        for (auto &s : subs)
+            s.fn(v);
+    });
+}
+
+std::uint64_t
+Signal::subscribe(SignalObserver fn)
+{
+    const std::uint64_t id = nextSub_++;
+    subs_.push_back(Sub{id, std::move(fn)});
+    return id;
+}
+
+void
+Signal::unsubscribe(std::uint64_t id)
+{
+    subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
+                               [id](const Sub &s) { return s.id == id; }),
+                subs_.end());
+}
+
+AndTree::AndTree(Simulation &sim, const std::string &name, Tick prop_delay)
+    : sim_(sim), propDelay_(prop_delay), out_(sim, name, false)
+{}
+
+void
+AndTree::addInput(Signal &in)
+{
+    inputs_.push_back(&in);
+    in.subscribe([this](bool) { onInputEdge(); });
+    // Reflect the (possibly already-true) combinational value.
+    onInputEdge();
+}
+
+bool
+AndTree::combinational() const
+{
+    if (inputs_.empty())
+        return false;
+    return std::all_of(inputs_.begin(), inputs_.end(),
+                       [](const Signal *s) { return s->read(); });
+}
+
+void
+AndTree::onInputEdge()
+{
+    out_.writeAfter(propDelay_, combinational());
+}
+
+} // namespace apc::sim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Simulation facade: event queue + RNG + termination control.
+ *
+ * Every model component takes a `Simulation &` at construction and uses it
+ * for scheduling, time queries and randomness. Simulations are
+ * deterministic given the seed.
+ */
+
+#ifndef APC_SIM_SIMULATION_H
+#define APC_SIM_SIMULATION_H
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace apc::sim {
+
+/** Top-level simulation context. */
+class Simulation
+{
+  public:
+    /** @param seed RNG seed; the default gives reproducible runs. */
+    explicit Simulation(std::uint64_t seed = 42) : rng_(seed) {}
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return events_.now(); }
+
+    /** Schedule @p fn at absolute tick @p when. */
+    EventHandle
+    at(Tick when, EventFn fn)
+    {
+        return events_.scheduleAt(when, std::move(fn));
+    }
+
+    /** Schedule @p fn @p delay ticks from now. */
+    EventHandle
+    after(Tick delay, EventFn fn)
+    {
+        return events_.scheduleAfter(delay, std::move(fn));
+    }
+
+    /** Run until @p until (inclusive); see EventQueue::runUntil. */
+    std::uint64_t runUntil(Tick until) { return events_.runUntil(until); }
+
+    /** Drain all pending events. */
+    std::uint64_t runAll() { return events_.runAll(); }
+
+    /** Execute at most one event. */
+    bool step() { return events_.step(); }
+
+    /** The underlying event queue. */
+    EventQueue &events() { return events_; }
+
+    /** Simulation-wide random number generator. */
+    Rng &rng() { return rng_; }
+
+  private:
+    EventQueue events_;
+    Rng rng_;
+};
+
+} // namespace apc::sim
+
+#endif // APC_SIM_SIMULATION_H

@@ -1,0 +1,29 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace apc::sim {
+
+std::string
+formatTime(Tick t)
+{
+    char buf[64];
+    const char *sign = t < 0 ? "-" : "";
+    Tick a = t < 0 ? -t : t;
+    if (a >= kSec) {
+        std::snprintf(buf, sizeof(buf), "%s%.6gs", sign, toSeconds(a));
+    } else if (a >= kMs) {
+        std::snprintf(buf, sizeof(buf), "%s%.6gms",
+                      sign, static_cast<double>(a) / kMs);
+    } else if (a >= kUs) {
+        std::snprintf(buf, sizeof(buf), "%s%.6gus", sign, toMicros(a));
+    } else if (a >= kNs) {
+        std::snprintf(buf, sizeof(buf), "%s%.6gns", sign, toNanos(a));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s%lldps",
+                      sign, static_cast<long long>(a));
+    }
+    return buf;
+}
+
+} // namespace apc::sim

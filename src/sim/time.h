@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Simulated time base for the AgilePkgC simulator.
+ *
+ * All simulated time is kept in integer picoseconds (`Tick`). Picosecond
+ * resolution comfortably represents both the 2 ns APMU clock period and
+ * multi-second workload runs within an int64 (about 106 days of simulated
+ * time).
+ */
+
+#ifndef APC_SIM_TIME_H
+#define APC_SIM_TIME_H
+
+#include <cstdint>
+#include <string>
+
+namespace apc::sim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::int64_t;
+
+/** One picosecond. */
+inline constexpr Tick kPs = 1;
+/** One nanosecond in ticks. */
+inline constexpr Tick kNs = 1000 * kPs;
+/** One microsecond in ticks. */
+inline constexpr Tick kUs = 1000 * kNs;
+/** One millisecond in ticks. */
+inline constexpr Tick kMs = 1000 * kUs;
+/** One second in ticks. */
+inline constexpr Tick kSec = 1000 * kMs;
+
+/** A tick value used to mean "never" / "not scheduled". */
+inline constexpr Tick kTickNever = INT64_MAX;
+
+/** Convert a floating point count of seconds to ticks (rounds to nearest). */
+constexpr Tick
+fromSeconds(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kSec) + 0.5);
+}
+
+/** Convert a floating point count of microseconds to ticks. */
+constexpr Tick
+fromMicros(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kUs) + 0.5);
+}
+
+/** Convert a floating point count of nanoseconds to ticks. */
+constexpr Tick
+fromNanos(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kNs) + 0.5);
+}
+
+/** Convert ticks to floating point seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/** Convert ticks to floating point microseconds. */
+constexpr double
+toMicros(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kUs);
+}
+
+/** Convert ticks to floating point nanoseconds. */
+constexpr double
+toNanos(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kNs);
+}
+
+/**
+ * Period of a clock of the given frequency in Hz, rounded to the nearest
+ * tick. E.g. clockPeriod(500e6) == 2 * kNs for the 500 MHz APMU clock.
+ */
+constexpr Tick
+clockPeriod(double hz)
+{
+    return static_cast<Tick>(static_cast<double>(kSec) / hz + 0.5);
+}
+
+/**
+ * Round @p t up to the next multiple of @p period. Used by cycle-quantized
+ * FSMs: an event observed between clock edges takes effect on the next edge.
+ */
+constexpr Tick
+ceilToPeriod(Tick t, Tick period)
+{
+    return ((t + period - 1) / period) * period;
+}
+
+/** Human-readable rendering of a tick count, e.g. "150ns" or "2.5us". */
+std::string formatTime(Tick t);
+
+} // namespace apc::sim
+
+#endif // APC_SIM_TIME_H

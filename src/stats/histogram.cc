@@ -1,0 +1,117 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace apc::stats {
+
+Histogram::Histogram(double min_value, double max_value, int bins_per_decade)
+    : minValue_(min_value), maxValue_(max_value),
+      logMin_(std::log10(min_value)),
+      binsPerDecade_(static_cast<double>(bins_per_decade))
+{
+    assert(min_value > 0 && max_value > min_value && bins_per_decade > 0);
+    const double decades = std::log10(max_value) - logMin_;
+    // +2 edge bins for underflow and overflow.
+    bins_.assign(static_cast<std::size_t>(
+                     std::ceil(decades * binsPerDecade_)) + 2, 0);
+}
+
+std::size_t
+Histogram::indexOf(double v) const
+{
+    if (!(v >= minValue_))
+        return 0; // underflow (also catches NaN and non-positive)
+    if (v >= maxValue_)
+        return bins_.size() - 1; // overflow
+    const double pos = (std::log10(v) - logMin_) * binsPerDecade_;
+    auto idx = static_cast<std::size_t>(pos) + 1;
+    return std::min(idx, bins_.size() - 2);
+}
+
+void
+Histogram::record(double v, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    bins_[indexOf(v)] += weight;
+    count_ += weight;
+    sum_ += v * static_cast<double>(weight);
+}
+
+double
+Histogram::binLowerEdge(std::size_t i) const
+{
+    if (i == 0)
+        return 0.0;
+    return std::pow(10.0,
+                    logMin_ + static_cast<double>(i - 1) / binsPerDecade_);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    if (q <= 0.0)
+        return min_;
+    if (q >= 1.0)
+        return max_;
+    const double target = q * static_cast<double>(count_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        const double c = static_cast<double>(bins_[i]);
+        if (cum + c >= target && c > 0) {
+            const double frac = (target - cum) / c;
+            const double lo = i == 0 ? 0.0 : binLowerEdge(i);
+            const double hi = i + 1 >= bins_.size()
+                ? max_ : binLowerEdge(i + 1);
+            double v = lo + frac * (hi - lo);
+            return std::clamp(v, min_, max_);
+        }
+        cum += c;
+    }
+    return max_;
+}
+
+double
+Histogram::fractionBetween(double lo, double hi) const
+{
+    if (count_ == 0 || hi <= lo)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (!bins_[i])
+            continue;
+        const double bl = i == 0 ? 0.0 : binLowerEdge(i);
+        const double bh = i + 1 >= bins_.size()
+            ? maxValue_ * 10 : binLowerEdge(i + 1);
+        if (bh <= lo || bl >= hi)
+            continue;
+        const double overlap_lo = std::max(bl, lo);
+        const double overlap_hi = std::min(bh, hi);
+        const double w = bh > bl ? (overlap_hi - overlap_lo) / (bh - bl)
+                                 : 1.0;
+        acc += w * static_cast<double>(bins_[i]);
+    }
+    return acc / static_cast<double>(count_);
+}
+
+void
+Histogram::clear()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = max_ = 0.0;
+}
+
+} // namespace apc::stats

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Time-in-state accounting, the simulator's equivalent of the hardware
+ * C-state residency reporting counters the paper reads (Sec. 6).
+ *
+ * `ResidencyCounter<E>` tracks how long an entity spends in each value of
+ * an enum-like state space, plus transition counts — exactly what the
+ * paper's residency plots (Fig. 6a, 8a, 9a) and Eq. 1 need.
+ */
+
+#ifndef APC_STATS_RESIDENCY_H
+#define APC_STATS_RESIDENCY_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace apc::stats {
+
+/**
+ * Residency counter over a small enum state space.
+ *
+ * @tparam N number of states; states are indexed by size_t casts of the
+ *           enum values, which must be dense in [0, N).
+ */
+template <std::size_t N>
+class ResidencyCounter
+{
+  public:
+    /** @param start time at which tracking begins, in state @p initial. */
+    explicit ResidencyCounter(std::size_t initial = 0,
+                              sim::Tick start = 0)
+        : state_(initial), since_(start), begin_(start)
+    {
+        time_.fill(0);
+        transitions_.fill(0);
+    }
+
+    /** Record a state change at time @p now. No-op if unchanged. */
+    void
+    transitionTo(std::size_t next, sim::Tick now)
+    {
+        if (next == state_)
+            return;
+        time_[state_] += now - since_;
+        since_ = now;
+        state_ = next;
+        ++transitions_[next];
+    }
+
+    /** Current state index. */
+    std::size_t state() const { return state_; }
+
+    /** Total time accumulated in @p s, up to @p now. */
+    sim::Tick
+    timeIn(std::size_t s, sim::Tick now) const
+    {
+        sim::Tick t = time_[s];
+        if (s == state_)
+            t += now - since_;
+        return t;
+    }
+
+    /** Fraction of elapsed time spent in @p s, in [0,1]. */
+    double
+    residency(std::size_t s, sim::Tick now) const
+    {
+        const sim::Tick total = now - begin_;
+        if (total <= 0)
+            return 0.0;
+        return static_cast<double>(timeIn(s, now))
+            / static_cast<double>(total);
+    }
+
+    /** Number of entries into state @p s. */
+    std::uint64_t enterCount(std::size_t s) const { return transitions_[s]; }
+
+    /** Time tracking started. */
+    sim::Tick begin() const { return begin_; }
+
+    /** Reset all counters, staying in the current state. */
+    void
+    reset(sim::Tick now)
+    {
+        time_.fill(0);
+        transitions_.fill(0);
+        since_ = now;
+        begin_ = now;
+    }
+
+  private:
+    std::array<sim::Tick, N> time_;
+    std::array<std::uint64_t, N> transitions_;
+    std::size_t state_;
+    sim::Tick since_;
+    sim::Tick begin_;
+};
+
+} // namespace apc::stats
+
+#endif // APC_STATS_RESIDENCY_H

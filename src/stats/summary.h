@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Small running-summary accumulators (mean / min / max / variance).
+ */
+
+#ifndef APC_STATS_SUMMARY_H
+#define APC_STATS_SUMMARY_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace apc::stats {
+
+/** Welford running summary over doubles. */
+class Summary
+{
+  public:
+    /** Record one sample. */
+    void
+    record(double v)
+    {
+        ++n_;
+        if (n_ == 1) {
+            min_ = max_ = v;
+        } else {
+            min_ = std::min(min_, v);
+            max_ = std::max(max_, v);
+        }
+        const double d = v - mean_;
+        mean_ += d / static_cast<double>(n_);
+        m2_ += d * (v - mean_);
+        sum_ += v;
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Population variance; 0 with fewer than 2 samples. */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Reset to empty. */
+    void
+    clear()
+    {
+        n_ = 0;
+        mean_ = m2_ = sum_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace apc::stats
+
+#endif // APC_STATS_SUMMARY_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * CLM domain model: CHA + LLC + mesh interconnect (paper Sec. 3, 4.3).
+ *
+ * The CLM is powered by two FIVRs (Vccclm0/Vccclm1) and clocked by one
+ * PLL through a gateable clock tree. Its power splits into a dynamic
+ * component (only while clocks run) and a leakage component that scales
+ * with the rail voltage; CLMR saves power by gating the clock tree and
+ * dropping both FIVRs to the pre-programmed retention voltage while
+ * keeping the PLL locked.
+ *
+ * The `available` status wire is high when the fabric can carry traffic:
+ * clocks running and voltage settled at nominal. The SoC's path to
+ * memory is open only while this is high.
+ */
+
+#ifndef APC_UNCORE_CLM_H
+#define APC_UNCORE_CLM_H
+
+#include <memory>
+
+#include "power/clock_tree.h"
+#include "power/energy_meter.h"
+#include "power/fivr.h"
+#include "sim/signal.h"
+#include "sim/simulation.h"
+
+namespace apc::uncore {
+
+/** CLM configuration (calibration in DESIGN.md Sec. 3). */
+struct ClmConfig
+{
+    double dynWatts = 6.54;         ///< dynamic power, clocks running
+    double leakWattsNominal = 13.30; ///< leakage at nominal voltage
+    power::FivrConfig fivr;          ///< per-FIVR (both move together)
+    power::ClockTreeConfig clockTree;
+};
+
+/** The CHA/LLC/mesh voltage-and-clock domain. */
+class Clm
+{
+  public:
+    Clm(sim::Simulation &sim, power::EnergyMeter &meter,
+        const ClmConfig &cfg);
+
+    /** Gate the CLM clock tree (APMU `ClkGate`, GPMU PC6 flow). */
+    void gateClocks();
+
+    /** Ungate the clock tree. */
+    void ungateClocks();
+
+    /**
+     * Drive the `Ret` wire on both FIVRs: true ramps to retention,
+     * false ramps back to nominal (preemptive mid-ramp reversal is
+     * handled by the FIVRs).
+     */
+    void setRetention(bool ret);
+
+    /** Both FIVRs settled at their commanded target. */
+    sim::Signal &pwrOk() { return pwrOk_; }
+
+    /** Fabric usable: clocks running, voltage settled at nominal. */
+    sim::Signal &available() { return available_; }
+
+    /** Present rail voltage (both FIVRs track each other). */
+    double voltage() const { return fivr0_->voltage(); }
+
+    /** Time until the in-flight voltage ramp settles (0 if settled). */
+    sim::Tick
+    settleTimeRemaining() const
+    {
+        return fivr0_->settleTimeRemaining();
+    }
+
+    power::Fivr &fivr0() { return *fivr0_; }
+    power::Fivr &fivr1() { return *fivr1_; }
+    power::ClockTree &clockTree() { return clockTree_; }
+
+    /** True when the rails are commanded to retention. */
+    bool inRetention() const { return retention_; }
+
+    const ClmConfig &config() const { return cfg_; }
+
+  private:
+    /** Recompute the power load (called on clock/voltage edges). */
+    void updatePower();
+    void updateAvailable();
+
+    sim::Simulation &sim_;
+    ClmConfig cfg_;
+    std::unique_ptr<power::Fivr> fivr0_;
+    std::unique_ptr<power::Fivr> fivr1_;
+    power::ClockTree clockTree_;
+    sim::Signal pwrOk_;
+    sim::Signal available_;
+    power::PowerLoad load_;
+    bool retention_ = false;
+};
+
+} // namespace apc::uncore
+
+#endif // APC_UNCORE_CLM_H

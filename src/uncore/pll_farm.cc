@@ -1,0 +1,69 @@
+#include "uncore/pll_farm.h"
+
+#include <algorithm>
+
+namespace apc::uncore {
+
+PllFarm::PllFarm(sim::Simulation &sim, power::EnergyMeter &meter,
+                 const power::PllConfig &cfg)
+    : sim_(sim)
+{
+    const char *names[] = {"pll.pcie0", "pll.pcie1", "pll.pcie2",
+                           "pll.dmi", "pll.upi0", "pll.upi1",
+                           "pll.clm_mc", "pll.gpmu"};
+    for (const char *n : names)
+        plls_.push_back(
+            std::make_unique<power::Pll>(sim, meter, n, cfg));
+}
+
+void
+PllFarm::powerOffAll()
+{
+    for (auto &p : plls_)
+        p->powerOff();
+}
+
+void
+PllFarm::powerOnAll(std::function<void()> done)
+{
+    // All PLLs relock in parallel; completion is bounded by the slowest.
+    auto pending = std::make_shared<int>(0);
+    auto cb = std::make_shared<std::function<void()>>(std::move(done));
+    for (auto &p : plls_) {
+        if (p->state() == power::Pll::State::Locked)
+            continue;
+        ++*pending;
+        const auto id = std::make_shared<std::uint64_t>(0);
+        power::Pll *pll = p.get();
+        *id = pll->locked().subscribe(
+            [pending, cb, pll, id](bool locked) {
+                if (!locked)
+                    return;
+                pll->locked().unsubscribe(*id);
+                if (--*pending == 0 && *cb)
+                    (*cb)();
+            });
+        pll->powerOn();
+    }
+    if (*pending == 0 && *cb)
+        (*cb)();
+}
+
+bool
+PllFarm::allLocked() const
+{
+    return std::all_of(plls_.begin(), plls_.end(), [](const auto &p) {
+        return p->state() == power::Pll::State::Locked;
+    });
+}
+
+double
+PllFarm::totalPowerWatts() const
+{
+    double w = 0.0;
+    for (const auto &p : plls_)
+        w += p->currentPowerWatts();
+    return w;
+}
+
+} // namespace apc::uncore

@@ -1,0 +1,51 @@
+#include "workload/arrival.h"
+
+#include <cassert>
+
+namespace apc::workload {
+
+MmppArrivals::MmppArrivals(double qps, double burstiness, sim::Tick on_mean)
+    : qps_(qps), burstiness_(burstiness), onMean_(on_mean)
+{
+    assert(burstiness >= 1.0);
+    // ON fraction f = 1/burstiness keeps the long-run rate at qps while
+    // the ON-phase instantaneous rate is burstiness * qps.
+    const double f = 1.0 / burstiness_;
+    offMean_ = f >= 1.0 ? 0
+        : static_cast<sim::Tick>(static_cast<double>(onMean_)
+                                 * (1.0 - f) / f);
+}
+
+sim::Tick
+MmppArrivals::nextGap(sim::Rng &rng)
+{
+    if (burstiness_ <= 1.0 || offMean_ == 0)
+        return sim::fromSeconds(rng.exponential(1.0 / qps_));
+
+    const double on_rate = qps_ * burstiness_;
+    sim::Tick gap = 0;
+    // Walk phases until an arrival lands inside an ON phase.
+    for (;;) {
+        if (phaseLeft_ <= 0) {
+            phaseLeft_ = sim::fromSeconds(rng.exponential(
+                sim::toSeconds(on_ ? onMean_ : offMean_)));
+        }
+        if (!on_) {
+            gap += phaseLeft_;
+            phaseLeft_ = 0;
+            on_ = true;
+            continue;
+        }
+        const sim::Tick draw =
+            sim::fromSeconds(rng.exponential(1.0 / on_rate));
+        if (draw <= phaseLeft_) {
+            phaseLeft_ -= draw;
+            return gap + draw;
+        }
+        gap += phaseLeft_;
+        phaseLeft_ = 0;
+        on_ = false;
+    }
+}
+
+} // namespace apc::workload

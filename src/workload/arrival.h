@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Request arrival processes.
+ *
+ * The paper's load generators (Mutilate replaying Facebook ETC, sysbench
+ * OLTP, Kafka perf clients) produce bursty, unpredictable arrivals — the
+ * defining property that makes deep C-states dangerous (Sec. 1). We model
+ * arrivals as either a Poisson process or a two-phase Markov-modulated
+ * Poisson process (ON/OFF bursts), which reproduces the busy/idle pattern
+ * of datacenter traffic.
+ */
+
+#ifndef APC_WORKLOAD_ARRIVAL_H
+#define APC_WORKLOAD_ARRIVAL_H
+
+#include <memory>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace apc::workload {
+
+/** Generator of inter-arrival gaps. */
+class ArrivalProcess
+{
+  public:
+    virtual ~ArrivalProcess() = default;
+
+    /** Time from now until the next request arrives. */
+    virtual sim::Tick nextGap(sim::Rng &rng) = 0;
+
+    /** Mean request rate in queries/second. */
+    virtual double ratePerSec() const = 0;
+};
+
+/** Memoryless arrivals at a fixed mean rate. */
+class PoissonArrivals : public ArrivalProcess
+{
+  public:
+    explicit PoissonArrivals(double qps) : qps_(qps) {}
+
+    sim::Tick
+    nextGap(sim::Rng &rng) override
+    {
+        return sim::fromSeconds(rng.exponential(1.0 / qps_));
+    }
+
+    double ratePerSec() const override { return qps_; }
+
+  private:
+    double qps_;
+};
+
+/** Fixed-interval arrivals (for deterministic tests). */
+class DeterministicArrivals : public ArrivalProcess
+{
+  public:
+    explicit DeterministicArrivals(sim::Tick gap) : gap_(gap) {}
+
+    sim::Tick nextGap(sim::Rng &) override { return gap_; }
+
+    double
+    ratePerSec() const override
+    {
+        return 1.0 / sim::toSeconds(gap_);
+    }
+
+  private:
+    sim::Tick gap_;
+};
+
+/**
+ * ON/OFF Markov-modulated Poisson arrivals.
+ *
+ * The process alternates between an ON phase (Poisson at
+ * `burstiness * qps` so the long-run average stays `qps`) and a silent
+ * OFF phase. Phase durations are exponential; the ON fraction is
+ * 1/burstiness.
+ */
+class MmppArrivals : public ArrivalProcess
+{
+  public:
+    /**
+     * @param qps        long-run average rate
+     * @param burstiness ON-phase rate multiplier (>1); 1 = Poisson
+     * @param on_mean    mean ON-phase duration
+     */
+    MmppArrivals(double qps, double burstiness, sim::Tick on_mean);
+
+    sim::Tick nextGap(sim::Rng &rng) override;
+
+    double ratePerSec() const override { return qps_; }
+
+  private:
+    double qps_;
+    double burstiness_;
+    sim::Tick onMean_;
+    sim::Tick offMean_;
+    bool on_ = true;
+    sim::Tick phaseLeft_ = 0;
+};
+
+} // namespace apc::workload
+
+#endif // APC_WORKLOAD_ARRIVAL_H

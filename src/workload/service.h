@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-request service time distributions.
+ */
+
+#ifndef APC_WORKLOAD_SERVICE_H
+#define APC_WORKLOAD_SERVICE_H
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace apc::workload {
+
+/** Generator of request service times. */
+class ServiceDist
+{
+  public:
+    virtual ~ServiceDist() = default;
+
+    /** Sample one service duration. */
+    virtual sim::Tick sample(sim::Rng &rng) = 0;
+
+    /** Mean service duration. */
+    virtual sim::Tick mean() const = 0;
+};
+
+/** Constant service time. */
+class FixedService : public ServiceDist
+{
+  public:
+    explicit FixedService(sim::Tick t) : t_(t) {}
+    sim::Tick sample(sim::Rng &) override { return t_; }
+    sim::Tick mean() const override { return t_; }
+
+  private:
+    sim::Tick t_;
+};
+
+/** Exponential service times. */
+class ExponentialService : public ServiceDist
+{
+  public:
+    explicit ExponentialService(sim::Tick mean) : mean_(mean) {}
+
+    sim::Tick
+    sample(sim::Rng &rng) override
+    {
+        return sim::fromSeconds(rng.exponential(sim::toSeconds(mean_)));
+    }
+
+    sim::Tick mean() const override { return mean_; }
+
+  private:
+    sim::Tick mean_;
+};
+
+/**
+ * Log-normal service times (the common fit for key-value and RPC
+ * service-time distributions): arithmetic mean @p mean, shape sigma.
+ */
+class LognormalService : public ServiceDist
+{
+  public:
+    LognormalService(sim::Tick mean, double sigma)
+        : mean_(mean), sigma_(sigma)
+    {}
+
+    sim::Tick
+    sample(sim::Rng &rng) override
+    {
+        return sim::fromSeconds(
+            rng.lognormalWithMean(sim::toSeconds(mean_), sigma_));
+    }
+
+    sim::Tick mean() const override { return mean_; }
+
+  private:
+    sim::Tick mean_;
+    double sigma_;
+};
+
+/**
+ * Bimodal mix (e.g. ETC: mostly small GETs plus occasional large
+ * multi-gets / SETs).
+ */
+class BimodalService : public ServiceDist
+{
+  public:
+    /**
+     * @param common      the frequent mode
+     * @param rare        the slow mode
+     * @param rare_prob   probability of drawing the slow mode
+     */
+    BimodalService(sim::Tick common, sim::Tick rare, double rare_prob)
+        : common_(common), rare_(rare), rareProb_(rare_prob)
+    {}
+
+    sim::Tick
+    sample(sim::Rng &rng) override
+    {
+        const sim::Tick m = rng.bernoulli(rareProb_) ? rare_ : common_;
+        // Jitter each mode log-normally (sigma 0.35).
+        return sim::fromSeconds(
+            rng.lognormalWithMean(sim::toSeconds(m), 0.35));
+    }
+
+    sim::Tick
+    mean() const override
+    {
+        return static_cast<sim::Tick>(
+            (1.0 - rareProb_) * static_cast<double>(common_)
+            + rareProb_ * static_cast<double>(rare_));
+    }
+
+  private:
+    sim::Tick common_;
+    sim::Tick rare_;
+    double rareProb_;
+};
+
+} // namespace apc::workload
+
+#endif // APC_WORKLOAD_SERVICE_H

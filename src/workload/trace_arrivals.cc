@@ -1,0 +1,86 @@
+#include "workload/trace_arrivals.h"
+
+#include <cstdio>
+
+namespace apc::workload {
+
+TraceArrivals::TraceArrivals(std::vector<sim::Tick> arrivals, bool loop)
+    : arrivals_(std::move(arrivals)), loop_(loop)
+{}
+
+sim::Tick
+TraceArrivals::nextGap(sim::Rng &)
+{
+    if (arrivals_.empty())
+        return sim::kTickNever;
+    if (pos_ >= arrivals_.size()) {
+        if (!loop_)
+            return sim::kTickNever;
+        pos_ = 0;
+        lastAbs_ = 0;
+        // Fall through: replay from the start of the period.
+    }
+    const sim::Tick abs = arrivals_[pos_++];
+    const sim::Tick gap = abs - lastAbs_;
+    lastAbs_ = abs;
+    return gap > 0 ? gap : 0;
+}
+
+double
+TraceArrivals::ratePerSec() const
+{
+    if (arrivals_.empty() || arrivals_.back() <= 0)
+        return 0.0;
+    return static_cast<double>(arrivals_.size()) /
+        sim::toSeconds(arrivals_.back());
+}
+
+TraceArrivals
+TraceArrivals::fromFile(const std::string &path, bool loop)
+{
+    std::vector<sim::Tick> out;
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return TraceArrivals({}, loop);
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+        if (line[0] == '#' || line[0] == '\n')
+            continue;
+        double seconds = 0.0;
+        if (std::sscanf(line, "%lf", &seconds) == 1)
+            out.push_back(sim::fromSeconds(seconds));
+    }
+    std::fclose(f);
+    return TraceArrivals(std::move(out), loop);
+}
+
+bool
+TraceArrivals::toFile(const std::string &path,
+                      const std::vector<sim::Tick> &arrivals)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "# arrival timestamps, seconds, one per line\n");
+    for (const sim::Tick t : arrivals)
+        std::fprintf(f, "%.9f\n", sim::toSeconds(t));
+    std::fclose(f);
+    return true;
+}
+
+std::vector<sim::Tick>
+TraceArrivals::synthesize(ArrivalProcess &source, sim::Rng &rng,
+                          sim::Tick duration)
+{
+    std::vector<sim::Tick> out;
+    sim::Tick t = 0;
+    for (;;) {
+        t += source.nextGap(rng);
+        if (t > duration)
+            break;
+        out.push_back(t);
+    }
+    return out;
+}
+
+} // namespace apc::workload

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Trace-replayed arrivals.
+ *
+ * The paper drives its server with recorded client traffic (Mutilate
+ * replaying the Facebook ETC trace). The original traces are not
+ * public, so `TraceArrivals` supports the same workflow on
+ * reconstructed traces: a list of absolute arrival timestamps, loadable
+ * from a simple one-timestamp-per-line text file (seconds), replayed
+ * exactly and optionally looped. `synthesize()` produces such a trace
+ * from any ArrivalProcess so experiments can be re-run bit-identically
+ * across machines and bindings.
+ */
+
+#ifndef APC_WORKLOAD_TRACE_ARRIVALS_H
+#define APC_WORKLOAD_TRACE_ARRIVALS_H
+
+#include <string>
+#include <vector>
+
+#include "workload/arrival.h"
+
+namespace apc::workload {
+
+/** Replays a fixed arrival-timestamp trace. */
+class TraceArrivals : public ArrivalProcess
+{
+  public:
+    /**
+     * @param arrivals absolute arrival times, sorted ascending
+     * @param loop     wrap around at the end (period = last timestamp)
+     */
+    explicit TraceArrivals(std::vector<sim::Tick> arrivals,
+                           bool loop = true);
+
+    sim::Tick nextGap(sim::Rng &rng) override;
+    double ratePerSec() const override;
+
+    std::size_t size() const { return arrivals_.size(); }
+    bool exhausted() const { return !loop_ && pos_ >= arrivals_.size(); }
+
+    /**
+     * Load a trace from a text file: one arrival timestamp per line, in
+     * seconds; '#' lines are comments. Returns an empty trace on IO
+     * failure (check size()).
+     */
+    static TraceArrivals fromFile(const std::string &path,
+                                  bool loop = true);
+
+    /** Write a trace in the same format. @return false on IO failure. */
+    static bool toFile(const std::string &path,
+                       const std::vector<sim::Tick> &arrivals);
+
+    /**
+     * Synthesize a trace by sampling @p source for @p duration. The
+     * result replays identically regardless of later RNG use.
+     */
+    static std::vector<sim::Tick> synthesize(ArrivalProcess &source,
+                                             sim::Rng &rng,
+                                             sim::Tick duration);
+
+  private:
+    std::vector<sim::Tick> arrivals_;
+    bool loop_;
+    std::size_t pos_ = 0;
+    sim::Tick lastAbs_ = 0;
+};
+
+} // namespace apc::workload
+
+#endif // APC_WORKLOAD_TRACE_ARRIVALS_H

@@ -1,0 +1,125 @@
+#include "workload/workload.h"
+
+namespace apc::workload {
+
+std::unique_ptr<ArrivalProcess>
+WorkloadConfig::makeArrivals() const
+{
+    switch (arrivalKind) {
+      case ArrivalKind::Poisson:
+        return std::make_unique<PoissonArrivals>(qps);
+      case ArrivalKind::Deterministic:
+        return std::make_unique<DeterministicArrivals>(
+            sim::fromSeconds(1.0 / qps));
+      case ArrivalKind::Mmpp:
+        return std::make_unique<MmppArrivals>(qps, burstiness, burstMean);
+    }
+    return std::make_unique<PoissonArrivals>(qps);
+}
+
+std::unique_ptr<ServiceDist>
+WorkloadConfig::makeService() const
+{
+    switch (serviceKind) {
+      case ServiceKind::Fixed:
+        return std::make_unique<FixedService>(serviceMean);
+      case ServiceKind::Exponential:
+        return std::make_unique<ExponentialService>(serviceMean);
+      case ServiceKind::Lognormal:
+        return std::make_unique<LognormalService>(serviceMean,
+                                                  serviceSigma);
+      case ServiceKind::Bimodal:
+        return std::make_unique<BimodalService>(serviceMean, serviceRare,
+                                                serviceRareProb);
+    }
+    return std::make_unique<FixedService>(serviceMean);
+}
+
+sim::Tick
+WorkloadConfig::meanServiceTicks() const
+{
+    return makeService()->mean();
+}
+
+WorkloadConfig
+WorkloadConfig::memcachedEtc(double qps)
+{
+    WorkloadConfig w;
+    w.name = "memcached-etc";
+    // Mutilate's load generator is open-loop with exponential
+    // inter-arrivals, but TCP batching across the 4 client machines
+    // adds a mild ON/OFF macro-modulation on top of the Poisson core.
+    w.arrivalKind = ArrivalKind::Mmpp;
+    w.qps = qps;
+    w.burstiness = 1.25;
+    w.burstMean = 400 * sim::kUs;
+    // ETC: dominated by small GETs with a slow tail of multigets/SETs.
+    w.serviceKind = ServiceKind::Bimodal;
+    w.serviceMean = 10 * sim::kUs;
+    w.serviceRare = 60 * sim::kUs;
+    w.serviceRareProb = 0.03;
+    // Sparse arrivals pay the full interrupt path + idle-governor +
+    // cold-µarch wake cost; arrivals that coalesce into one NAPI poll
+    // share it. This is what makes per-request CPU cost shrink with
+    // load on real servers (util 2-3% at 4K QPS -> ~20% at 100K QPS).
+    w.wakeOverhead = 45 * sim::kUs;
+    w.wakeOverheadCoalesced = 5 * sim::kUs;
+    w.coalesceWindow = 50 * sim::kUs;
+    return w;
+}
+
+WorkloadConfig
+WorkloadConfig::mysqlOltp(double qps)
+{
+    WorkloadConfig w;
+    w.name = "mysql-oltp";
+    // OLTP transactions cluster (multi-statement sessions, commit
+    // groups) — moderate ON/OFF modulation keeps some all-idle time
+    // even at the paper's 42% load point.
+    w.arrivalKind = ArrivalKind::Mmpp;
+    w.qps = qps;
+    w.burstiness = 1.6;
+    w.burstMean = 10 * sim::kMs;
+    w.serviceKind = ServiceKind::Lognormal;
+    w.serviceMean = 1 * sim::kMs;
+    w.serviceSigma = 0.6;
+    w.wakeOverhead = 30 * sim::kUs;
+    w.wakeOverheadCoalesced = 10 * sim::kUs;
+    w.coalesceWindow = 100 * sim::kUs;
+    return w;
+}
+
+WorkloadConfig
+WorkloadConfig::kafka(double qps)
+{
+    WorkloadConfig w;
+    w.name = "kafka";
+    // Consumer/producer perf clients poll continuously, spreading event
+    // handling almost uniformly across time; only a mild batching
+    // modulation remains.
+    w.arrivalKind = ArrivalKind::Mmpp;
+    w.qps = qps;
+    w.burstiness = 1.2;
+    w.burstMean = 500 * sim::kUs;
+    w.serviceKind = ServiceKind::Lognormal;
+    w.serviceMean = 100 * sim::kUs;
+    w.serviceSigma = 0.5;
+    w.wakeOverhead = 25 * sim::kUs;
+    w.wakeOverheadCoalesced = 5 * sim::kUs;
+    w.coalesceWindow = 100 * sim::kUs;
+    return w;
+}
+
+double
+WorkloadConfig::qpsForUtilization(double util, int num_cores) const
+{
+    // util ≈ qps * (service + wake cost) / cores. At the moderate loads
+    // the paper evaluates, arrivals are sparse enough that most pay a
+    // wake, but bursty workloads amortize some of it; split the
+    // difference between the full and coalesced overhead.
+    const double per_req = sim::toSeconds(
+        meanServiceTicks() + (wakeOverhead + wakeOverheadCoalesced) / 2);
+    return util * static_cast<double>(num_cores) / per_req;
+}
+
+} // namespace apc::workload

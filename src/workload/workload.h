@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Workload presets reconstructing the paper's three services (Sec. 6):
+ *
+ * - **Memcached** driven by Mutilate replaying the Facebook ETC trace:
+ *   µs-scale bimodal-ish service times, bursty arrivals, 4K–600K QPS.
+ * - **MySQL** driven by sysbench OLTP: ms-scale transactions; the paper
+ *   evaluates 8/16/42% processor load points.
+ * - **Kafka** consumer/producer perf: ~100 µs event handling; 8/16% load.
+ *
+ * Each request additionally pays a wake overhead when it lands on a core
+ * that was idle (interrupt path, cold µarch state, event-loop wakeup) —
+ * the reason per-request CPU cost shrinks at high load in real servers.
+ *
+ * `OsNoise` models the residual housekeeping timer tick of a NOHZ-idle
+ * kernel, which bounds idle-period length on an otherwise idle system.
+ */
+
+#ifndef APC_WORKLOAD_WORKLOAD_H
+#define APC_WORKLOAD_WORKLOAD_H
+
+#include <memory>
+#include <string>
+
+#include "workload/arrival.h"
+#include "workload/service.h"
+
+namespace apc::workload {
+
+/** Arrival process shapes. */
+enum class ArrivalKind { Poisson, Mmpp, Deterministic };
+
+/** Service distribution shapes. */
+enum class ServiceKind { Fixed, Exponential, Lognormal, Bimodal };
+
+/** OS background activity (NOHZ-idle residual housekeeping tick). */
+struct OsNoise
+{
+    bool enabled = true;
+    /** Residual housekeeping tick on core 0. NOHZ-idle kernels stop the
+     *  periodic tick on idle cores; what remains fires rarely. */
+    sim::Tick tickPeriod = 100 * sim::kMs;
+    sim::Tick tickWork = 2 * sim::kUs; ///< CPU time per tick
+};
+
+/** Complete workload description. */
+struct WorkloadConfig
+{
+    std::string name = "workload";
+
+    ArrivalKind arrivalKind = ArrivalKind::Mmpp;
+    double qps = 10000.0;
+    double burstiness = 3.0;            ///< MMPP ON-rate multiplier
+    sim::Tick burstMean = 200 * sim::kUs; ///< MMPP mean ON duration
+
+    ServiceKind serviceKind = ServiceKind::Lognormal;
+    sim::Tick serviceMean = 12 * sim::kUs;
+    double serviceSigma = 0.5;
+    sim::Tick serviceRare = 0;   ///< Bimodal slow mode
+    double serviceRareProb = 0.0;
+
+    /**
+     * Extra CPU time when the serving core was woken for the request
+     * and the arrival did not coalesce with a recent one: the full
+     * interrupt path, idle-governor exit and cold-µarch refill.
+     */
+    sim::Tick wakeOverhead = 25 * sim::kUs;
+
+    /**
+     * Reduced overhead when the arrival lands within coalesceWindow of
+     * the previous one (NAPI/interrupt coalescing shares the wake).
+     */
+    sim::Tick wakeOverheadCoalesced = 5 * sim::kUs;
+
+    /** Arrival gap below which wake costs coalesce. */
+    sim::Tick coalesceWindow = 50 * sim::kUs;
+
+    /** NIC link occupancy per request (RX and TX each). */
+    sim::Tick nicTransfer = 200 * sim::kNs;
+
+    /**
+     * Network-stack completion work (TX softirq / interrupt handling)
+     * that lands on a *different* core than the application thread —
+     * IRQ affinity spreads it across the machine, fragmenting
+     * simultaneous idleness at load (visible in Fig. 6b).
+     */
+    sim::Tick softirqWork = 3 * sim::kUs;
+
+    OsNoise noise{};
+
+    /** Build the arrival process. */
+    std::unique_ptr<ArrivalProcess> makeArrivals() const;
+
+    /** Build the service distribution. */
+    std::unique_ptr<ServiceDist> makeService() const;
+
+    /** Mean per-request CPU time ignoring wake overheads. */
+    sim::Tick meanServiceTicks() const;
+
+    // --- presets (paper Sec. 6) ---
+
+    /** Memcached / Mutilate ETC at the given request rate. */
+    static WorkloadConfig memcachedEtc(double qps);
+
+    /** MySQL / sysbench OLTP at the given request rate. */
+    static WorkloadConfig mysqlOltp(double qps);
+
+    /** Kafka consumer/producer perf at the given request rate. */
+    static WorkloadConfig kafka(double qps);
+
+    /**
+     * Request rate that produces roughly the given processor
+     * utilization for this workload on @p num_cores cores (used to hit
+     * the paper's 8%/16%/42% MySQL and 8%/16% Kafka load points).
+     */
+    double qpsForUtilization(double util, int num_cores) const;
+};
+
+} // namespace apc::workload
+
+#endif // APC_WORKLOAD_WORKLOAD_H

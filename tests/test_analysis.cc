@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the analysis module: Eq. 1 power model, the die-area
+ * model (paper Sec. 5), and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/area_model.h"
+#include "analysis/eq1_model.h"
+#include "analysis/paper_reference.h"
+#include "analysis/table_printer.h"
+
+namespace apc::analysis {
+namespace {
+
+TEST(Eq1, BaselineIsWeightedSum)
+{
+    Eq1Inputs in;
+    in.rPc0 = 0.3;
+    in.rPc0idle = 0.7;
+    in.pPc0 = 60.0;
+    in.pPc0idle = 49.5;
+    in.pPc1a = 29.1;
+    EXPECT_NEAR(eq1BaselinePower(in), 0.3 * 60 + 0.7 * 49.5, 1e-12);
+}
+
+TEST(Eq1, PaperIdleCase)
+{
+    // Paper Sec. 2: idle server -> 1 - P_PC1A/P_PC0idle ~ 41%.
+    const double s = eq1IdleSavings(49.5, 29.1);
+    EXPECT_NEAR(s, paper::kIdleSavings, 0.005);
+}
+
+TEST(Eq1, PaperLoadPoints)
+{
+    // Paper: 57% all-CC1 at 5% load -> ~23% savings; 39% -> ~17%.
+    Eq1Inputs in;
+    in.pPc0idle = 49.5;
+    in.pPc1a = 29.1;
+
+    in.rPc0idle = 0.57;
+    in.rPc0 = 0.43;
+    in.pPc0 = 55.0; // low-load active power
+    EXPECT_NEAR(eq1Savings(in), paper::kSavingsAt5pct, 0.015);
+
+    in.rPc0idle = 0.39;
+    in.rPc0 = 0.61;
+    EXPECT_NEAR(eq1Savings(in), paper::kSavingsAt10pct, 0.02);
+}
+
+TEST(Eq1, SavingsZeroWhenPc1aEqualsIdle)
+{
+    Eq1Inputs in;
+    in.rPc0 = 0.5;
+    in.rPc0idle = 0.5;
+    in.pPc0 = 60;
+    in.pPc0idle = 49.5;
+    in.pPc1a = 49.5;
+    EXPECT_DOUBLE_EQ(eq1Savings(in), 0.0);
+}
+
+TEST(Eq1, PowerWithPc1aConsistent)
+{
+    Eq1Inputs in;
+    in.rPc0 = 0.4;
+    in.rPc0idle = 0.6;
+    in.pPc0 = 60;
+    in.pPc0idle = 49.5;
+    in.pPc1a = 29.1;
+    const double expected =
+        eq1BaselinePower(in) * (1.0 - eq1Savings(in));
+    EXPECT_NEAR(eq1PowerWithPc1a(in), expected, 1e-12);
+    // Converting idle time to PC1A time directly:
+    const double direct = in.rPc0 * in.pPc0 + in.rPc0idle * in.pPc1a;
+    EXPECT_NEAR(eq1PowerWithPc1a(in), direct, 1e-9);
+}
+
+TEST(Eq1, DegenerateInputsAreSafe)
+{
+    Eq1Inputs zero;
+    EXPECT_DOUBLE_EQ(eq1Savings(zero), 0.0);
+    EXPECT_DOUBLE_EQ(eq1IdleSavings(0.0, 10.0), 0.0);
+}
+
+TEST(AreaModel, PaperBoundsHold)
+{
+    const auto b = computeAreaOverhead(AreaParams{});
+    EXPECT_LE(b.iosmWires, paper::kAreaIosmWires + 1e-6);
+    // The paper prints "<0.14%", rounded from 3 * 0.06/128 = 0.1406%.
+    EXPECT_LE(b.clmrWires, paper::kAreaClmrWires + 1e-5);
+    EXPECT_LE(b.incc1Wires, paper::kAreaIncc1Wires + 1e-5);
+    EXPECT_LE(b.apmuLogic, paper::kAreaApmu + 1e-9);
+    EXPECT_LE(b.total(), paper::kAreaTotal);
+    EXPECT_GT(b.total(), 0.005); // sanity: not trivially zero
+}
+
+TEST(AreaModel, WiderInterconnectShrinksWireCost)
+{
+    AreaParams narrow;
+    AreaParams wide = narrow;
+    wide.ioInterconnectBits = 512;
+    const auto b_narrow = computeAreaOverhead(narrow);
+    const auto b_wide = computeAreaOverhead(wide);
+    EXPECT_NEAR(b_wide.iosmWires, b_narrow.iosmWires / 4.0, 1e-9);
+    EXPECT_LT(b_wide.total(), b_narrow.total());
+    // Logic terms are width-independent.
+    EXPECT_DOUBLE_EQ(b_wide.apmuLogic, b_narrow.apmuLogic);
+}
+
+TEST(AreaModel, TotalIsSumOfParts)
+{
+    const auto b = computeAreaOverhead(AreaParams{});
+    EXPECT_NEAR(b.total(),
+                b.iosmWires + b.iosmControllerLogic + b.clmrWires +
+                    b.clmrFcm + b.apmuLogic + b.incc1Wires,
+                1e-15);
+}
+
+TEST(TablePrinter, Formatters)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::percent(0.413), "41.3%");
+    EXPECT_EQ(TablePrinter::watts(27.47, 1), "27.5W");
+}
+
+TEST(TablePrinter, PrintsAlignedColumns)
+{
+    TablePrinter t("demo");
+    t.header({"A", "LongHeader"});
+    t.row({"x", "1"});
+    t.row({"longer", "2"});
+    // Render into a memstream and check alignment survived.
+    char *buf = nullptr;
+    std::size_t len = 0;
+    std::FILE *f = open_memstream(&buf, &len);
+    ASSERT_NE(f, nullptr);
+    t.print(f);
+    std::fclose(f);
+    std::string out(buf, len);
+    free(buf);
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("LongHeader"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+TEST(PaperReference, InternalConsistency)
+{
+    // Table 1 totals used throughout the benches.
+    EXPECT_NEAR(paper::kPc0idleSocW + paper::kPc0idleDramW, 49.5, 1e-9);
+    EXPECT_NEAR(paper::kPc1aSocW + paper::kPc1aDramW, 29.1, 1e-9);
+    // Sec. 5.4 composition: PC6 + deltas = PC1A (paper rounds 27.5).
+    EXPECT_NEAR(11.9 + paper::kPcoresDiffW + paper::kPiosDiffW +
+                    paper::kPpllsDiffW,
+                paper::kPc1aSocW, 0.1);
+    // Idle savings claim follows from Table 1.
+    EXPECT_NEAR(1.0 - 29.1 / 49.5, paper::kIdleSavings, 0.005);
+}
+
+} // namespace
+} // namespace apc::analysis

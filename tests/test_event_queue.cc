@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel (sim/event_queue.h,
+ * sim/simulation.h, sim/time.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace apc::sim {
+namespace {
+
+TEST(Time, UnitConstants)
+{
+    EXPECT_EQ(kNs, 1000);
+    EXPECT_EQ(kUs, 1000 * kNs);
+    EXPECT_EQ(kMs, 1000 * kUs);
+    EXPECT_EQ(kSec, 1000 * kMs);
+}
+
+TEST(Time, Conversions)
+{
+    EXPECT_DOUBLE_EQ(toSeconds(kSec), 1.0);
+    EXPECT_DOUBLE_EQ(toMicros(kUs), 1.0);
+    EXPECT_DOUBLE_EQ(toNanos(150 * kNs), 150.0);
+    EXPECT_EQ(fromSeconds(2.5), 2 * kSec + 500 * kMs);
+    EXPECT_EQ(fromMicros(0.5), 500 * kNs);
+    EXPECT_EQ(fromNanos(64.0), 64 * kNs);
+}
+
+TEST(Time, ClockPeriod500MHz)
+{
+    // The APMU clock from the paper: 500 MHz -> 2 ns period.
+    EXPECT_EQ(clockPeriod(500e6), 2 * kNs);
+    EXPECT_EQ(clockPeriod(1e9), 1 * kNs);
+}
+
+TEST(Time, CeilToPeriod)
+{
+    EXPECT_EQ(ceilToPeriod(0, 2 * kNs), 0);
+    EXPECT_EQ(ceilToPeriod(1, 2 * kNs), 2 * kNs);
+    EXPECT_EQ(ceilToPeriod(2 * kNs, 2 * kNs), 2 * kNs);
+    EXPECT_EQ(ceilToPeriod(2 * kNs + 1, 2 * kNs), 4 * kNs);
+}
+
+TEST(Time, Format)
+{
+    EXPECT_EQ(formatTime(150 * kNs), "150ns");
+    EXPECT_EQ(formatTime(2 * kUs + 500 * kNs), "2.5us");
+    EXPECT_EQ(formatTime(1 * kSec), "1s");
+    EXPECT_EQ(formatTime(500), "500ps");
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.scheduleAt(5, [&order, i] { order.push_back(i); });
+    q.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.scheduleAt(10, [&] { ++fired; });
+    q.scheduleAt(20, [&] { ++fired; });
+    q.scheduleAt(30, [&] { ++fired; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 20);
+    EXPECT_EQ(q.runUntil(100), 1u);
+    EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithEmptyQueue)
+{
+    EventQueue q;
+    q.runUntil(500);
+    EXPECT_EQ(q.now(), 500);
+}
+
+TEST(EventQueue, EventsScheduledFromEvents)
+{
+    EventQueue q;
+    std::vector<Tick> times;
+    q.scheduleAt(10, [&] {
+        times.push_back(q.now());
+        q.scheduleAfter(5, [&] { times.push_back(q.now()); });
+    });
+    q.runAll();
+    EXPECT_EQ(times, (std::vector<Tick>{10, 15}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    int fired = 0;
+    auto h = q.scheduleAt(10, [&] { ++fired; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    q.runAll();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CancelAfterFireIsHarmless)
+{
+    EventQueue q;
+    int fired = 0;
+    auto h = q.scheduleAt(10, [&] { ++fired; });
+    q.runAll();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(h.pending());
+    h.cancel(); // no-op
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, DefaultHandleIsInert)
+{
+    EventHandle h;
+    EXPECT_FALSE(h.valid());
+    EXPECT_FALSE(h.pending());
+    h.cancel(); // must not crash
+}
+
+TEST(EventQueue, ExecutedCountsOnlyLiveEvents)
+{
+    EventQueue q;
+    auto h = q.scheduleAt(5, [] {});
+    q.scheduleAt(6, [] {});
+    h.cancel();
+    q.runAll();
+    EXPECT_EQ(q.executedEvents(), 1u);
+}
+
+TEST(Simulation, NowAndAfter)
+{
+    Simulation s;
+    Tick seen = -1;
+    s.after(42, [&] { seen = s.now(); });
+    s.runAll();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(Simulation, DeterministicAcrossRuns)
+{
+    auto run = [](std::uint64_t seed) {
+        Simulation s(seed);
+        std::vector<double> xs;
+        for (int i = 0; i < 16; ++i)
+            xs.push_back(s.rng().uniform());
+        return xs;
+    };
+    EXPECT_EQ(run(7), run(7));
+    EXPECT_NE(run(7), run(8));
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(123);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(25.0);
+    EXPECT_NEAR(sum / n, 25.0, 0.5);
+}
+
+TEST(Rng, LognormalWithMeanHitsMean)
+{
+    Rng rng(5);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.lognormalWithMean(20.0, 0.5);
+    EXPECT_NEAR(sum / n, 20.0, 0.5);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.boundedPareto(1.2, 1.0, 100.0);
+        EXPECT_GE(v, 1.0);
+        EXPECT_LE(v, 100.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+} // namespace
+} // namespace apc::sim

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the legacy GPMU PC6 flow (uncore/gpmu.h) running on the
+ * composed Cdeep SoC: entry once all cores reach CC6, deep states for
+ * IOs/DRAM/CLM/PLLs, µs-scale exit, Table 1 power levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "soc/soc.h"
+
+namespace apc::uncore {
+namespace {
+
+using sim::kMs;
+using sim::kUs;
+
+struct DeepFixture
+{
+    sim::Simulation s;
+    soc::SkxConfig cfg;
+    std::unique_ptr<soc::Soc> soc;
+
+    DeepFixture()
+    {
+        cfg = soc::SkxConfig::forPolicy(soc::PackagePolicy::Cdeep);
+        // Short ladder thresholds so tests settle quickly.
+        cfg.ladder.cc1ToCc1e = 10 * kUs;
+        cfg.ladder.cc1eToCc6 = 50 * kUs;
+        soc = std::make_unique<soc::Soc>(s, cfg,
+                                         soc::PackagePolicy::Cdeep);
+    }
+
+    void
+    allIdle()
+    {
+        for (std::size_t i = 0; i < soc->numCores(); ++i)
+            soc->core(i).release();
+    }
+};
+
+TEST(GpmuPc6, EntersPc6OnceAllCoresCc6)
+{
+    DeepFixture f;
+    f.allIdle();
+    f.s.runUntil(2 * kMs);
+    EXPECT_EQ(f.soc->gpmu().state(), Gpmu::State::Pc6);
+    EXPECT_EQ(f.soc->pkgState(), soc::PkgState::Pc6);
+    EXPECT_EQ(f.soc->gpmu().pc6Entries(), 1u);
+}
+
+TEST(GpmuPc6, DeepStatesReached)
+{
+    DeepFixture f;
+    f.allIdle();
+    f.s.runUntil(2 * kMs);
+    for (std::size_t i = 0; i < f.soc->numLinks(); ++i)
+        EXPECT_EQ(f.soc->link(i).state(), io::LState::L1);
+    for (std::size_t i = 0; i < f.soc->numMcs(); ++i)
+        EXPECT_EQ(f.soc->mc(i).state(), dram::McState::SelfRefresh);
+    EXPECT_FALSE(f.soc->plls().allLocked());
+    EXPECT_FALSE(f.soc->clm().available().read());
+    EXPECT_DOUBLE_EQ(f.soc->clm().voltage(), 0.5);
+    EXPECT_FALSE(f.soc->fabricReady());
+}
+
+TEST(GpmuPc6, PowerMatchesTable1)
+{
+    DeepFixture f;
+    f.allIdle();
+    f.s.runUntil(2 * kMs);
+    // Paper Table 1: PC6 = 12 W SoC + 0.5 W DRAM.
+    EXPECT_NEAR(f.soc->meter().planePower(power::Plane::Package), 11.9,
+                0.3);
+    EXPECT_NEAR(f.soc->meter().planePower(power::Plane::Dram), 0.51,
+                0.05);
+}
+
+TEST(GpmuPc6, EntryLatencyIsTensOfMicroseconds)
+{
+    DeepFixture f;
+    f.allIdle();
+    f.s.runUntil(2 * kMs);
+    const double entry_us = f.soc->gpmu().entryLatencyUs().mean();
+    EXPECT_GT(entry_us, 10.0);
+    EXPECT_LT(entry_us, 60.0);
+}
+
+TEST(GpmuPc6, WakeRestoresEverything)
+{
+    DeepFixture f;
+    f.allIdle();
+    f.s.runUntil(2 * kMs);
+    ASSERT_EQ(f.soc->gpmu().state(), Gpmu::State::Pc6);
+
+    bool woke = false;
+    f.soc->core(0).requestWake([&] { woke = true; });
+    f.s.runUntil(4 * kMs);
+    EXPECT_TRUE(woke);
+    EXPECT_EQ(f.soc->gpmu().state(), Gpmu::State::Pc0);
+    EXPECT_TRUE(f.soc->fabricReady());
+    EXPECT_TRUE(f.soc->plls().allLocked());
+    for (std::size_t i = 0; i < f.soc->numMcs(); ++i)
+        EXPECT_EQ(f.soc->mc(i).state(), dram::McState::Active);
+}
+
+TEST(GpmuPc6, TotalTransitionExceeds50us)
+{
+    // Table 1: PC6 worst-case entry+exit > 50 µs.
+    DeepFixture f;
+    f.allIdle();
+    f.s.runUntil(2 * kMs);
+    f.soc->core(0).requestWake(nullptr);
+    f.s.runUntil(4 * kMs);
+    const double total = f.soc->gpmu().entryLatencyUs().mean() +
+        f.soc->gpmu().exitLatencyUs().mean();
+    EXPECT_GT(total, 50.0);
+}
+
+TEST(GpmuPc6, IoTrafficWakesPackage)
+{
+    DeepFixture f;
+    f.allIdle();
+    f.s.runUntil(2 * kMs);
+    ASSERT_EQ(f.soc->gpmu().state(), Gpmu::State::Pc6);
+    bool delivered = false;
+    sim::Tick delivered_at = 0;
+    f.soc->nic().transfer(100 * sim::kNs, [&] {
+        delivered = true;
+        delivered_at = f.s.now();
+    });
+    f.s.runUntil(3 * kMs);
+    EXPECT_TRUE(delivered);
+    // The delivery had to ride through the µs-scale L1 retrain.
+    EXPECT_GE(delivered_at, 2 * kMs + 6 * kUs);
+    // With no core activity the GPMU legitimately re-enters PC6 after
+    // the traffic drains.
+    EXPECT_EQ(f.soc->gpmu().state(), Gpmu::State::Pc6);
+    EXPECT_GE(f.soc->gpmu().pc6Entries(), 2u);
+}
+
+TEST(GpmuPc6, AbortedEntryUnwinds)
+{
+    DeepFixture f;
+    f.allIdle();
+    // Run until the entry flow is in flight, then wake a core.
+    f.s.runUntil(100 * kUs); // cores at CC6 ~ (2.5+10+2.5+50+33) µs
+    // Find the moment entry starts; wake shortly after.
+    while (f.soc->gpmu().state() != Gpmu::State::EnteringPc6 &&
+           f.s.now() < 2 * kMs) {
+        f.s.runUntil(f.s.now() + 5 * kUs);
+    }
+    ASSERT_EQ(f.soc->gpmu().state(), Gpmu::State::EnteringPc6);
+    f.soc->core(3).requestWake(nullptr);
+    f.s.runUntil(f.s.now() + 2 * kMs);
+    EXPECT_EQ(f.soc->gpmu().state(), Gpmu::State::Pc0);
+    EXPECT_TRUE(f.soc->fabricReady());
+}
+
+TEST(GpmuPc6, DisabledPolicyNeverEnters)
+{
+    sim::Simulation s;
+    auto cfg = soc::SkxConfig::forPolicy(soc::PackagePolicy::Cshallow);
+    soc::Soc soc(s, cfg, soc::PackagePolicy::Cshallow);
+    for (std::size_t i = 0; i < soc.numCores(); ++i)
+        soc.core(i).release();
+    s.runUntil(5 * kMs);
+    EXPECT_EQ(soc.gpmu().state(), Gpmu::State::Pc0);
+    EXPECT_EQ(soc.pkgState(), soc::PkgState::Pc0idle);
+    EXPECT_EQ(soc.gpmu().pc6Entries(), 0u);
+}
+
+TEST(GpmuPc6, ShallowBaselinePowerMatchesTable1)
+{
+    // Cshallow all-idle: 44 W SoC + 5.5 W DRAM (Table 1 PC0idle).
+    sim::Simulation s;
+    auto cfg = soc::SkxConfig::forPolicy(soc::PackagePolicy::Cshallow);
+    soc::Soc soc(s, cfg, soc::PackagePolicy::Cshallow);
+    for (std::size_t i = 0; i < soc.numCores(); ++i)
+        soc.core(i).release();
+    s.runUntil(1 * kMs);
+    EXPECT_NEAR(soc.meter().planePower(power::Plane::Package), 44.0, 0.1);
+    EXPECT_NEAR(soc.meter().planePower(power::Plane::Dram), 5.5, 0.05);
+}
+
+} // namespace
+} // namespace apc::uncore

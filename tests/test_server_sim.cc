@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Integration tests: the full server simulation (server/server_sim.h)
+ * across the paper's three system configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/paper_reference.h"
+#include "server/server_sim.h"
+
+namespace apc::server {
+namespace {
+
+using sim::kMs;
+using sim::kUs;
+
+ServerResult
+runMemcached(soc::PackagePolicy policy, double qps,
+             sim::Tick duration = 300 * kMs, std::uint64_t seed = 42)
+{
+    ServerConfig cfg;
+    cfg.policy = policy;
+    cfg.workload = workload::WorkloadConfig::memcachedEtc(qps);
+    cfg.duration = duration;
+    cfg.seed = seed;
+    ServerSim sim(std::move(cfg));
+    return sim.run();
+}
+
+TEST(ServerSim, ProcessesApproximatelyQpsRequests)
+{
+    const auto r = runMemcached(soc::PackagePolicy::Cshallow, 20000);
+    EXPECT_NEAR(r.achievedQps, 20000.0, 1500.0);
+}
+
+TEST(ServerSim, LatencyDominatedByNetwork)
+{
+    const auto r = runMemcached(soc::PackagePolicy::Cshallow, 20000);
+    // >= network 117 µs + CC1 wake + service; well under 1 ms at 20K.
+    EXPECT_GE(r.avgLatencyUs, 117.0);
+    EXPECT_LE(r.avgLatencyUs, 400.0);
+    EXPECT_GE(r.p99LatencyUs, r.p50LatencyUs);
+}
+
+TEST(ServerSim, ShallowIdlePowerMatchesTable1)
+{
+    ServerConfig cfg;
+    cfg.policy = soc::PackagePolicy::Cshallow;
+    cfg.workload = workload::WorkloadConfig::memcachedEtc(0); // idle
+    cfg.duration = 100 * kMs;
+    ServerSim sim(std::move(cfg));
+    const auto r = sim.run();
+    // All cores in CC1 nearly all the time: ~44 + 5.5 W (the 10 Hz-ish
+    // housekeeping tick adds a whisker).
+    EXPECT_NEAR(r.pkgPowerW, 44.0, 1.0);
+    EXPECT_NEAR(r.dramPowerW, 5.5, 0.2);
+    EXPECT_GT(r.allIdleFraction, 0.95);
+}
+
+TEST(ServerSim, Pc1aIdleSavingsAround41Percent)
+{
+    auto run_idle = [](soc::PackagePolicy p) {
+        ServerConfig cfg;
+        cfg.policy = p;
+        cfg.workload = workload::WorkloadConfig::memcachedEtc(0);
+        cfg.duration = 100 * kMs;
+        ServerSim sim(std::move(cfg));
+        return sim.run();
+    };
+    const auto base = run_idle(soc::PackagePolicy::Cshallow);
+    const auto apc = run_idle(soc::PackagePolicy::Cpc1a);
+    const double savings =
+        1.0 - apc.totalPowerW() / base.totalPowerW();
+    // Paper: ~41% idle power reduction (Sec. 2 / Fig. 7a).
+    EXPECT_NEAR(savings, analysis::paper::kIdleSavings, 0.04);
+    EXPECT_GT(apc.pc1aResidency(), 0.95);
+}
+
+TEST(ServerSim, Pc1aSavesPowerUnderLoad)
+{
+    const auto base = runMemcached(soc::PackagePolicy::Cshallow, 20000);
+    const auto apc = runMemcached(soc::PackagePolicy::Cpc1a, 20000);
+    EXPECT_LT(apc.totalPowerW(), base.totalPowerW());
+    EXPECT_GT(apc.pc1aEntries, 100u);
+    EXPECT_GT(apc.pc1aResidency(), 0.05);
+}
+
+TEST(ServerSim, Pc1aLatencyImpactBelowTenthPercent)
+{
+    const auto base = runMemcached(soc::PackagePolicy::Cshallow, 20000);
+    const auto apc = runMemcached(soc::PackagePolicy::Cpc1a, 20000);
+    const double impact =
+        (apc.avgLatencyUs - base.avgLatencyUs) / base.avgLatencyUs;
+    // Paper Fig. 7c: < 0.1% (we allow sampling noise around zero).
+    EXPECT_LT(impact, 0.003);
+}
+
+TEST(ServerSim, ApmuLatenciesWithinPaperBounds)
+{
+    const auto apc = runMemcached(soc::PackagePolicy::Cpc1a, 20000);
+    EXPECT_GT(apc.pc1aEntries, 0u);
+    EXPECT_LE(apc.apmuEntryNsMax, 30.0);
+    EXPECT_LE(apc.apmuExitNsMax, 170.0);
+    EXPECT_LE(apc.apmuEntryNsMax + apc.apmuExitNsMax,
+              analysis::paper::kPc1aTotalNs);
+}
+
+TEST(ServerSim, CdeepHurtsLatencyAtLowLoad)
+{
+    const auto shallow = runMemcached(soc::PackagePolicy::Cshallow, 8000,
+                                      200 * kMs);
+    const auto deep = runMemcached(soc::PackagePolicy::Cdeep, 8000,
+                                   200 * kMs);
+    // Fig. 5: Cdeep pays CC6 (and PC6) wake latency on most requests.
+    EXPECT_GT(deep.avgLatencyUs, shallow.avgLatencyUs * 1.3);
+    EXPECT_GT(deep.p99LatencyUs, shallow.p99LatencyUs);
+}
+
+TEST(ServerSim, CdeepSavesIdlePower)
+{
+    ServerConfig cfg;
+    cfg.policy = soc::PackagePolicy::Cdeep;
+    cfg.workload = workload::WorkloadConfig::memcachedEtc(0);
+    cfg.workload.noise.enabled = false; // let it sink fully
+    cfg.duration = 100 * kMs;
+    ServerSim sim(std::move(cfg));
+    const auto r = sim.run();
+    // Table 1 PC6: 12 + 0.5 W.
+    EXPECT_NEAR(r.totalPowerW(), 12.5, 1.0);
+}
+
+TEST(ServerSim, ResidencyFractionsSumToOne)
+{
+    const auto r = runMemcached(soc::PackagePolicy::Cpc1a, 20000);
+    double total = 0.0;
+    for (double f : r.pkgResidency)
+        total += f;
+    EXPECT_NEAR(total, 1.0, 1e-6);
+    double cores = 0.0;
+    for (double f : r.coreResidency)
+        cores += f;
+    EXPECT_NEAR(cores, 1.0, 0.02); // entry windows count as neither
+}
+
+TEST(ServerSim, OpportunityShrinksWithLoad)
+{
+    const auto lo = runMemcached(soc::PackagePolicy::Cshallow, 4000,
+                                 200 * kMs);
+    const auto hi = runMemcached(soc::PackagePolicy::Cshallow, 100000,
+                                 200 * kMs);
+    EXPECT_GT(lo.allIdleFraction, hi.allIdleFraction);
+    EXPECT_GT(lo.socWatchIdleFraction, hi.socWatchIdleFraction);
+    // SoCWatch's 10 µs floor only ever underestimates (paper Sec. 6).
+    EXPECT_LE(lo.socWatchIdleFraction, lo.allIdleFraction + 1e-9);
+    EXPECT_LE(hi.socWatchIdleFraction, hi.allIdleFraction + 1e-9);
+}
+
+TEST(ServerSim, DeterministicGivenSeed)
+{
+    const auto a = runMemcached(soc::PackagePolicy::Cpc1a, 10000,
+                                100 * kMs, 7);
+    const auto b = runMemcached(soc::PackagePolicy::Cpc1a, 10000,
+                                100 * kMs, 7);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_DOUBLE_EQ(a.avgLatencyUs, b.avgLatencyUs);
+    EXPECT_DOUBLE_EQ(a.pkgPowerW, b.pkgPowerW);
+    EXPECT_EQ(a.pc1aEntries, b.pc1aEntries);
+}
+
+TEST(ServerSim, SeedChangesRun)
+{
+    const auto a = runMemcached(soc::PackagePolicy::Cpc1a, 10000,
+                                100 * kMs, 7);
+    const auto b = runMemcached(soc::PackagePolicy::Cpc1a, 10000,
+                                100 * kMs, 8);
+    EXPECT_NE(a.requests, b.requests);
+}
+
+} // namespace
+} // namespace apc::server

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the wire/signal model (sim/signal.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/signal.h"
+
+namespace apc::sim {
+namespace {
+
+TEST(Signal, InitialValueAndName)
+{
+    Simulation s;
+    Signal w(s, "wire", false);
+    EXPECT_FALSE(w.read());
+    EXPECT_EQ(w.name(), "wire");
+    Signal w2(s, "wire2", true);
+    EXPECT_TRUE(w2.read());
+}
+
+TEST(Signal, WriteNotifiesOnEdgeOnly)
+{
+    Simulation s;
+    Signal w(s, "w");
+    int edges = 0;
+    w.subscribe([&](bool) { ++edges; });
+    w.write(true);
+    w.write(true); // no edge
+    w.write(false);
+    EXPECT_EQ(edges, 2);
+    EXPECT_EQ(w.risingEdges(), 1u);
+    EXPECT_EQ(w.fallingEdges(), 1u);
+}
+
+TEST(Signal, ObserverReceivesNewLevel)
+{
+    Simulation s;
+    Signal w(s, "w");
+    std::vector<bool> seen;
+    w.subscribe([&](bool v) { seen.push_back(v); });
+    w.set();
+    w.clear();
+    EXPECT_EQ(seen, (std::vector<bool>{true, false}));
+}
+
+TEST(Signal, Unsubscribe)
+{
+    Simulation s;
+    Signal w(s, "w");
+    int calls = 0;
+    auto id = w.subscribe([&](bool) { ++calls; });
+    w.set();
+    w.unsubscribe(id);
+    w.clear();
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Signal, WriteAfterAppliesAtDelay)
+{
+    Simulation s;
+    Signal w(s, "w");
+    Tick seen_at = -1;
+    w.subscribe([&](bool v) {
+        if (v)
+            seen_at = s.now();
+    });
+    w.writeAfter(5 * kNs, true);
+    EXPECT_FALSE(w.read()); // not yet
+    s.runAll();
+    EXPECT_TRUE(w.read());
+    EXPECT_EQ(seen_at, 5 * kNs);
+}
+
+TEST(Signal, LastWriteWinsOverInFlightDelayed)
+{
+    Simulation s;
+    Signal w(s, "w");
+    w.writeAfter(10 * kNs, true);
+    // A newer immediate write supersedes the scheduled one.
+    w.write(false);
+    s.runAll();
+    EXPECT_FALSE(w.read());
+}
+
+TEST(Signal, NewerDelayedWriteSupersedesOlder)
+{
+    Simulation s;
+    Signal w(s, "w");
+    w.writeAfter(10 * kNs, true);
+    w.writeAfter(2 * kNs, false); // supersedes; stays false
+    s.runAll();
+    EXPECT_FALSE(w.read());
+    EXPECT_EQ(w.risingEdges(), 0u);
+}
+
+TEST(Signal, ZeroDelayWriteAfterIsImmediate)
+{
+    Simulation s;
+    Signal w(s, "w");
+    w.writeAfter(0, true);
+    EXPECT_TRUE(w.read());
+}
+
+TEST(AndTree, EmptyTreeIsFalse)
+{
+    Simulation s;
+    AndTree t(s, "and", 0);
+    EXPECT_FALSE(t.combinational());
+    EXPECT_FALSE(t.output().read());
+}
+
+TEST(AndTree, OutputRisesWhenAllInputsHigh)
+{
+    Simulation s;
+    Signal a(s, "a"), b(s, "b"), c(s, "c");
+    AndTree t(s, "and", 0);
+    t.addInput(a);
+    t.addInput(b);
+    t.addInput(c);
+    a.set();
+    b.set();
+    s.runAll();
+    EXPECT_FALSE(t.output().read());
+    c.set();
+    s.runAll();
+    EXPECT_TRUE(t.output().read());
+}
+
+TEST(AndTree, OutputFallsWhenAnyInputDrops)
+{
+    Simulation s;
+    Signal a(s, "a", true), b(s, "b", true);
+    AndTree t(s, "and", 0);
+    t.addInput(a);
+    t.addInput(b);
+    s.runAll();
+    EXPECT_TRUE(t.output().read());
+    a.clear();
+    s.runAll();
+    EXPECT_FALSE(t.output().read());
+}
+
+TEST(AndTree, PropagationDelayApplies)
+{
+    Simulation s;
+    Signal a(s, "a"), b(s, "b");
+    AndTree t(s, "and", 2 * kNs);
+    t.addInput(a);
+    t.addInput(b);
+    Tick rise_at = -1;
+    t.output().subscribe([&](bool v) {
+        if (v)
+            rise_at = s.now();
+    });
+    s.runUntil(100 * kNs);
+    a.set();
+    b.set();
+    s.runAll();
+    EXPECT_EQ(rise_at, 102 * kNs);
+}
+
+TEST(AndTree, GlitchShorterThanDelayIsSwallowed)
+{
+    Simulation s;
+    Signal a(s, "a", true), b(s, "b", true);
+    AndTree t(s, "and", 2 * kNs);
+    t.addInput(a);
+    t.addInput(b);
+    s.runAll();
+    ASSERT_TRUE(t.output().read());
+    // Drop and re-raise within the propagation delay: last-change-wins
+    // means the output never falls.
+    int falls = 0;
+    t.output().subscribe([&](bool v) {
+        if (!v)
+            ++falls;
+    });
+    a.clear();
+    a.set();
+    s.runAll();
+    EXPECT_TRUE(t.output().read());
+    EXPECT_EQ(falls, 0);
+}
+
+TEST(AndTree, AlreadyHighInputsReflectedAtAttach)
+{
+    Simulation s;
+    Signal a(s, "a", true), b(s, "b", true);
+    AndTree t(s, "and", 0);
+    t.addInput(a);
+    t.addInput(b);
+    s.runAll();
+    EXPECT_TRUE(t.output().read());
+}
+
+} // namespace
+} // namespace apc::sim

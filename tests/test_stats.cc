@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the statistics utilities (stats/).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/histogram.h"
+#include "stats/residency.h"
+#include "stats/summary.h"
+
+namespace apc::stats {
+namespace {
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MeanIsExact)
+{
+    Histogram h(1.0, 1e6, 32);
+    h.record(10.0);
+    h.record(20.0);
+    h.record(30.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(h.minSample(), 10.0);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 30.0);
+}
+
+TEST(Histogram, QuantileWithinBinResolution)
+{
+    Histogram h(1.0, 1e6, 64);
+    for (int i = 1; i <= 10000; ++i)
+        h.record(static_cast<double>(i));
+    // p50 ~ 5000, p99 ~ 9900; allow bin-resolution error (~4%).
+    EXPECT_NEAR(h.quantile(0.5), 5000.0, 250.0);
+    EXPECT_NEAR(h.quantile(0.99), 9900.0, 500.0);
+}
+
+TEST(Histogram, QuantileEdgesReturnExactMinMax)
+{
+    Histogram h(1.0, 1e6, 32);
+    h.record(42.0);
+    h.record(1234.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1234.0);
+}
+
+TEST(Histogram, UnderflowAndOverflowCounted)
+{
+    Histogram h(10.0, 100.0, 8);
+    h.record(1.0);    // underflow
+    h.record(1e9);    // overflow
+    h.record(50.0);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, FractionBetween)
+{
+    Histogram h(0.1, 1e6, 64);
+    for (int i = 0; i < 60; ++i)
+        h.record(100.0); // in [20, 200)
+    for (int i = 0; i < 40; ++i)
+        h.record(1000.0); // outside
+    EXPECT_NEAR(h.fractionBetween(20.0, 200.0), 0.60, 0.02);
+    EXPECT_NEAR(h.fractionBetween(500.0, 2000.0), 0.40, 0.02);
+    EXPECT_NEAR(h.fractionBetween(1.0, 5.0), 0.0, 1e-12);
+}
+
+TEST(Histogram, WeightedRecord)
+{
+    Histogram h(1.0, 1e6, 32);
+    h.record(10.0, 3);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 30.0);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h(1.0, 1e6, 32);
+    h.record(5.0);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(Histogram, NonPositiveGoesToUnderflowWithoutCrash)
+{
+    Histogram h(1.0, 1e6, 32);
+    h.record(0.0);
+    h.record(-5.0);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Summary, Empty)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, MeanMinMax)
+{
+    Summary s;
+    s.record(2.0);
+    s.record(4.0);
+    s.record(9.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(Summary, VarianceMatchesClosedForm)
+{
+    Summary s;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        s.record(v);
+    EXPECT_NEAR(s.variance(), 2.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Summary, ClearResets)
+{
+    Summary s;
+    s.record(7.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Residency, AccumulatesTimePerState)
+{
+    ResidencyCounter<3> r(0, 0);
+    r.transitionTo(1, 100);
+    r.transitionTo(2, 250);
+    r.transitionTo(0, 400);
+    EXPECT_EQ(r.timeIn(0, 500), 100 + 100);
+    EXPECT_EQ(r.timeIn(1, 500), 150);
+    EXPECT_EQ(r.timeIn(2, 500), 150);
+}
+
+TEST(Residency, FractionsSumToOne)
+{
+    ResidencyCounter<3> r(0, 0);
+    r.transitionTo(1, 123);
+    r.transitionTo(2, 457);
+    const sim::Tick now = 1000;
+    const double total = r.residency(0, now) + r.residency(1, now) +
+        r.residency(2, now);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Residency, SelfTransitionIsNoop)
+{
+    ResidencyCounter<2> r(0, 0);
+    r.transitionTo(0, 50);
+    EXPECT_EQ(r.enterCount(0), 0u);
+    EXPECT_EQ(r.timeIn(0, 100), 100);
+}
+
+TEST(Residency, EnterCounts)
+{
+    ResidencyCounter<2> r(0, 0);
+    r.transitionTo(1, 10);
+    r.transitionTo(0, 20);
+    r.transitionTo(1, 30);
+    EXPECT_EQ(r.enterCount(1), 2u);
+    EXPECT_EQ(r.enterCount(0), 1u);
+}
+
+TEST(Residency, ResetKeepsCurrentState)
+{
+    ResidencyCounter<2> r(0, 0);
+    r.transitionTo(1, 100);
+    r.reset(200);
+    EXPECT_EQ(r.state(), 1u);
+    EXPECT_EQ(r.timeIn(1, 300), 100);
+    EXPECT_EQ(r.timeIn(0, 300), 0);
+    EXPECT_DOUBLE_EQ(r.residency(1, 300), 1.0);
+}
+
+TEST(Residency, ZeroWindowIsZero)
+{
+    ResidencyCounter<2> r(0, 100);
+    EXPECT_DOUBLE_EQ(r.residency(0, 100), 0.0);
+}
+
+} // namespace
+} // namespace apc::stats

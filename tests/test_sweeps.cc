@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Parameterized configuration sweeps:
+ *  - all 16 APC ablation-flag combinations must reach a stable low-power
+ *    state and recover on wake (no flow deadlocks in any variant),
+ *  - every IO-link preset obeys the LTSSM invariants,
+ *  - the GPMU PC6 flow stays >50 µs across firmware-latency settings,
+ *  - histogram quantile error stays within bin resolution across
+ *    binning choices.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "soc/soc.h"
+#include "stats/histogram.h"
+
+namespace apc {
+namespace {
+
+using sim::kMs;
+using sim::kNs;
+using sim::kUs;
+
+// --- APC ablation combination sweep -----------------------------------
+
+class ApcFlagSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ApcFlagSweep, ReachesPc1aAndRecovers)
+{
+    const int bits = GetParam();
+    sim::Simulation s;
+    auto cfg = soc::SkxConfig::forPolicy(soc::PackagePolicy::Cpc1a);
+    cfg.apc.useClmr = bits & 1;
+    cfg.apc.useShallowLinks = bits & 2;
+    cfg.apc.useCkeOff = bits & 4;
+    cfg.apc.keepPllsOn = bits & 8;
+    soc::Soc soc(s, cfg, soc::PackagePolicy::Cpc1a);
+    for (std::size_t i = 0; i < soc.numCores(); ++i)
+        soc.core(i).release();
+    // Deep variants (L1 links, self-refresh) take µs to settle.
+    s.runUntil(500 * kUs);
+    ASSERT_EQ(soc.apmu()->state(), core::Apmu::State::Pc1a)
+        << "flags=" << bits;
+    // Every variant must save power relative to PC0idle...
+    EXPECT_LT(soc.meter().planePower(power::Plane::Package), 43.0);
+
+    // ...and must recover to a serviceable system on an IO wake.
+    bool delivered = false;
+    soc.nic().transfer(100 * kNs, [&] { delivered = true; });
+    s.runUntil(s.now() + 1 * kMs);
+    EXPECT_TRUE(delivered) << "flags=" << bits;
+
+    // And on a core wake.
+    bool woke = false;
+    soc.core(0).requestWake([&] { woke = true; });
+    s.runUntil(s.now() + 1 * kMs);
+    EXPECT_TRUE(woke) << "flags=" << bits;
+    EXPECT_TRUE(soc.fabricReady()) << "flags=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, ApcFlagSweep, ::testing::Range(0, 16));
+
+// --- IO link preset sweep ----------------------------------------------
+
+class LinkPresetSweep
+    : public ::testing::TestWithParam<io::IoLinkConfig>
+{};
+
+TEST_P(LinkPresetSweep, LtssmInvariantsHold)
+{
+    const auto cfg = GetParam();
+    sim::Simulation s;
+    power::EnergyMeter m(s);
+    io::IoLink link(s, m, cfg);
+
+    // Power ordering: L0 > shallow > L1.
+    EXPECT_GT(cfg.powerL0, cfg.powerShallow);
+    EXPECT_GT(cfg.powerShallow, cfg.powerL1);
+    // Entry window is 1/4 of the exit latency (L0S_ENTRY_LAT=1).
+    EXPECT_EQ(cfg.entryWindow(), cfg.shallowExitLatency / 4);
+
+    // Autonomous entry under AllowL0s, wake restores L0 and the
+    // payload is only delivered at L0.
+    link.allowL0s().write(true);
+    s.runUntil(1 * kUs);
+    EXPECT_EQ(link.state(), cfg.shallowState) << cfg.name;
+    sim::Tick done_at = -1;
+    link.transfer(0, [&] { done_at = s.now(); });
+    s.runAll();
+    EXPECT_EQ(done_at, 1 * kUs + cfg.shallowExitLatency) << cfg.name;
+    EXPECT_EQ(link.state(), cfg.shallowState); // re-entered after idle
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, LinkPresetSweep,
+    ::testing::Values(io::IoLinkConfig::pcie(0), io::IoLinkConfig::pcie(1),
+                      io::IoLinkConfig::pcie(2), io::IoLinkConfig::dmi(),
+                      io::IoLinkConfig::upi(0), io::IoLinkConfig::upi(1)),
+    [](const auto &info) { return info.param.name; });
+
+// --- GPMU firmware-latency sweep ----------------------------------------
+
+struct GpmuTiming
+{
+    const char *name;
+    double scale;
+};
+
+class GpmuTimingSweep : public ::testing::TestWithParam<GpmuTiming>
+{};
+
+TEST_P(GpmuTimingSweep, Pc6FlowCompletesAndStaysSlow)
+{
+    const auto p = GetParam();
+    sim::Simulation s;
+    auto cfg = soc::SkxConfig::forPolicy(soc::PackagePolicy::Cdeep);
+    cfg.ladder.cc1ToCc1e = 10 * kUs;
+    cfg.ladder.cc1eToCc6 = 50 * kUs;
+    auto scale = [&](sim::Tick &t) {
+        t = static_cast<sim::Tick>(static_cast<double>(t) * p.scale);
+    };
+    scale(cfg.gpmu.ioL1Msg);
+    scale(cfg.gpmu.dramSrMsg);
+    scale(cfg.gpmu.clkPllMsg);
+    scale(cfg.gpmu.vRetMsg);
+    scale(cfg.gpmu.vNomMsg);
+    scale(cfg.gpmu.ungateMsg);
+    scale(cfg.gpmu.dramExitMsg);
+    scale(cfg.gpmu.ioExitMsg);
+    soc::Soc soc(s, cfg, soc::PackagePolicy::Cdeep);
+    for (std::size_t i = 0; i < soc.numCores(); ++i)
+        soc.core(i).release();
+    s.runUntil(3 * kMs);
+    ASSERT_EQ(soc.gpmu().state(), uncore::Gpmu::State::Pc6) << p.name;
+    soc.core(0).requestWake(nullptr);
+    s.runUntil(6 * kMs);
+    ASSERT_EQ(soc.gpmu().state(), uncore::Gpmu::State::Pc0) << p.name;
+    const double total_us = soc.gpmu().entryLatencyUs().mean() +
+        soc.gpmu().exitLatencyUs().mean();
+    // Even the fastest plausible firmware keeps PC6 latency far above
+    // PC1A's 200 ns — the structural gap the paper exploits.
+    EXPECT_GT(total_us, 20.0) << p.name;
+    if (p.scale >= 1.0) {
+        EXPECT_GT(total_us, 50.0) << p.name; // Table 1 bound
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Timing, GpmuTimingSweep,
+                         ::testing::Values(GpmuTiming{"fast", 0.5},
+                                           GpmuTiming{"nominal", 1.0},
+                                           GpmuTiming{"slow", 2.0}),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+// --- Histogram binning sweep ---------------------------------------------
+
+class HistogramBinSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(HistogramBinSweep, QuantileErrorWithinBinResolution)
+{
+    const int bins = GetParam();
+    stats::Histogram h(1.0, 1e6, bins);
+    sim::Rng rng(3);
+    std::vector<double> exact;
+    for (int i = 0; i < 50000; ++i) {
+        const double v = rng.lognormalWithMean(100.0, 0.7);
+        h.record(v);
+        exact.push_back(v);
+    }
+    std::sort(exact.begin(), exact.end());
+    // Relative bin width = 10^(1/bins) - 1.
+    const double tol = 2.0 * (std::pow(10.0, 1.0 / bins) - 1.0) + 0.01;
+    for (const double q : {0.5, 0.9, 0.99}) {
+        const double truth =
+            exact[static_cast<std::size_t>(q * (exact.size() - 1))];
+        EXPECT_NEAR(h.quantile(q) / truth, 1.0, tol)
+            << "q=" << q << " bins=" << bins;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, HistogramBinSweep,
+                         ::testing::Values(16, 32, 64, 128));
+
+} // namespace
+} // namespace apc
