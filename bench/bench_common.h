@@ -26,7 +26,8 @@ inline sim::Tick
 benchDuration(sim::Tick fallback = 300 * sim::kMs)
 {
     if (const char *env = std::getenv("APC_BENCH_DURATION_MS"))
-        return static_cast<sim::Tick>(std::atoll(env)) * sim::kMs;
+        if (const auto ms = std::atoll(env); ms > 0)
+            return static_cast<sim::Tick>(ms) * sim::kMs;
     return fallback;
 }
 

@@ -1,0 +1,81 @@
+#include "fleet/dispatch.h"
+
+namespace apc::fleet {
+namespace {
+
+bool
+isBanned(const std::vector<bool> &banned, std::size_t i)
+{
+    return !banned.empty() && banned[i];
+}
+
+/** Lowest-index server with the smallest outstanding count. */
+std::size_t
+shortestQueue(const std::vector<std::uint32_t> &outstanding,
+              const std::vector<bool> &banned)
+{
+    std::size_t best = 0;
+    std::uint32_t best_q = UINT32_MAX;
+    bool found = false;
+    for (std::size_t i = 0; i < outstanding.size(); ++i) {
+        if (isBanned(banned, i))
+            continue;
+        if (!found || outstanding[i] < best_q) {
+            best = i;
+            best_q = outstanding[i];
+            found = true;
+        }
+    }
+    return found ? best : 0;
+}
+
+} // namespace
+
+std::size_t
+RoundRobinDispatcher::pick(const std::vector<std::uint32_t> &outstanding,
+                           const std::vector<bool> &banned)
+{
+    const std::size_t n = outstanding.size();
+    for (std::size_t tries = 0; tries < n; ++tries) {
+        const std::size_t i = next_;
+        next_ = (next_ + 1) % n;
+        if (!isBanned(banned, i))
+            return i;
+    }
+    return 0; // everything banned; caller guarantees this can't matter
+}
+
+std::size_t
+LeastOutstandingDispatcher::pick(
+    const std::vector<std::uint32_t> &outstanding,
+    const std::vector<bool> &banned)
+{
+    return shortestQueue(outstanding, banned);
+}
+
+std::size_t
+PackingDispatcher::pick(const std::vector<std::uint32_t> &outstanding,
+                        const std::vector<bool> &banned)
+{
+    for (std::size_t i = 0; i < outstanding.size(); ++i)
+        if (!isBanned(banned, i) && outstanding[i] < budget_)
+            return i;
+    return shortestQueue(outstanding, banned);
+}
+
+std::unique_ptr<Dispatcher>
+makeDispatcher(DispatchKind kind, std::size_t /*num_servers*/,
+               std::uint32_t pack_budget)
+{
+    switch (kind) {
+      case DispatchKind::RoundRobin:
+        return std::make_unique<RoundRobinDispatcher>();
+      case DispatchKind::LeastOutstanding:
+        return std::make_unique<LeastOutstandingDispatcher>();
+      case DispatchKind::PowerAwarePacking:
+        return std::make_unique<PackingDispatcher>(pack_budget);
+    }
+    return std::make_unique<RoundRobinDispatcher>();
+}
+
+} // namespace apc::fleet

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Cluster load-balancing (dispatch) policies.
+ *
+ * The dispatcher sees the load balancer's view of the fleet: per-server
+ * outstanding request counts, refreshed at epoch boundaries plus the
+ * dispatches it made itself since (a realistic, slightly stale view).
+ *
+ * Three policies span the energy/latency trade-off the paper's
+ * datacenter argument turns on:
+ *
+ * - **RoundRobin** — classic spreading; every server stays lukewarm, so
+ *   none reaches deep package idle (the energy-proportionality worst
+ *   case for legacy C-states).
+ * - **LeastOutstanding** — join-the-shortest-queue on the stale view;
+ *   best tail latency, still spreads load.
+ * - **PowerAwarePacking** — fills servers in a fixed order up to a
+ *   per-server outstanding budget, so the tail of the fleet drains
+ *   completely and can sit in PC6/PC1A; spills to the least-loaded
+ *   server when every packed server is at budget.
+ */
+
+#ifndef APC_FLEET_DISPATCH_H
+#define APC_FLEET_DISPATCH_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace apc::fleet {
+
+/** Dispatch policy selector. */
+enum class DispatchKind
+{
+    RoundRobin,
+    LeastOutstanding,
+    PowerAwarePacking,
+};
+
+/** Display name. */
+constexpr const char *
+dispatchName(DispatchKind k)
+{
+    switch (k) {
+      case DispatchKind::RoundRobin:
+        return "round-robin";
+      case DispatchKind::LeastOutstanding:
+        return "least-outstanding";
+      case DispatchKind::PowerAwarePacking:
+        return "power-aware-packing";
+    }
+    return "?";
+}
+
+/**
+ * One dispatch decision maker. Implementations must be deterministic:
+ * the same sequence of pick() calls with the same views yields the same
+ * servers (fleet reproducibility depends on it).
+ */
+class Dispatcher
+{
+  public:
+    virtual ~Dispatcher() = default;
+
+    /**
+     * Choose a server for the next request (or fanout replica).
+     *
+     * @param outstanding per-server in-flight counts (LB view)
+     * @param banned      servers to avoid (already holding a replica of
+     *                    this request); empty means none. Policies must
+     *                    not return a banned index unless every server
+     *                    is banned.
+     * @return server index in [0, outstanding.size())
+     */
+    virtual std::size_t pick(const std::vector<std::uint32_t> &outstanding,
+                             const std::vector<bool> &banned) = 0;
+};
+
+/** Build the policy object for @p kind over @p num_servers servers. */
+std::unique_ptr<Dispatcher> makeDispatcher(DispatchKind kind,
+                                           std::size_t num_servers,
+                                           std::uint32_t pack_budget);
+
+/** Cycles through servers irrespective of load. */
+class RoundRobinDispatcher : public Dispatcher
+{
+  public:
+    std::size_t pick(const std::vector<std::uint32_t> &outstanding,
+                     const std::vector<bool> &banned) override;
+
+  private:
+    std::size_t next_ = 0;
+};
+
+/** Join-the-shortest-queue on the (stale) outstanding counts. */
+class LeastOutstandingDispatcher : public Dispatcher
+{
+  public:
+    std::size_t pick(const std::vector<std::uint32_t> &outstanding,
+                     const std::vector<bool> &banned) override;
+};
+
+/**
+ * Consolidates load: first server (by fixed index order) whose
+ * outstanding count is under the per-server budget wins; when all are
+ * at budget, falls back to join-the-shortest-queue so overload degrades
+ * into spreading instead of unbounded queueing.
+ */
+class PackingDispatcher : public Dispatcher
+{
+  public:
+    explicit PackingDispatcher(std::uint32_t budget) : budget_(budget) {}
+
+    std::size_t pick(const std::vector<std::uint32_t> &outstanding,
+                     const std::vector<bool> &banned) override;
+
+  private:
+    std::uint32_t budget_;
+};
+
+} // namespace apc::fleet
+
+#endif // APC_FLEET_DISPATCH_H

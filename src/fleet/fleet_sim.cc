@@ -1,0 +1,246 @@
+#include "fleet/fleet_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace apc::fleet {
+
+namespace {
+
+/** SplitMix64 step: decorrelates per-server RNG streams. */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t z = seed + (stream + 1) * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+FleetSim::FleetSim(FleetConfig cfg)
+    : cfg_(std::move(cfg)),
+      pool_(std::min<unsigned>(cfg_.threads,
+                               static_cast<unsigned>(cfg_.numServers)))
+{
+    assert(cfg_.numServers > 0);
+    servers_.reserve(cfg_.numServers);
+    completions_.resize(cfg_.numServers);
+    for (std::size_t i = 0; i < cfg_.numServers; ++i) {
+        server::ServerConfig sc;
+        sc.policy = cfg_.policy;
+        sc.workload = cfg_.workload;
+        sc.networkLatency = cfg_.networkLatency;
+        sc.seed = mixSeed(cfg_.seed, i);
+        sc.externalArrivals = true;
+        servers_.push_back(
+            std::make_unique<server::ServerSim>(std::move(sc)));
+        auto &buf = completions_[i];
+        servers_[i]->onCompletion(
+            [&buf](std::uint64_t id, sim::Tick done) {
+                buf.emplace_back(id, done);
+            });
+    }
+    traffic_ = std::make_unique<TrafficSource>(
+        cfg_.traffic, mixSeed(cfg_.seed, 0xF1EE7));
+
+    std::uint32_t budget = cfg_.packBudget;
+    if (budget == 0) {
+        // Pack to ~70% of the cores: keeps queueing (and therefore the
+        // p99) bounded while still emptying the rest of the fleet.
+        const auto cores = servers_[0]->soc().numCores();
+        budget = std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(
+                   std::floor(0.7 * static_cast<double>(cores))));
+    }
+    dispatcher_ = makeDispatcher(cfg_.dispatch, cfg_.numServers, budget);
+    lbView_.assign(cfg_.numServers, 0);
+    banned_.assign(cfg_.numServers, false);
+}
+
+FleetSim::~FleetSim() = default;
+
+void
+FleetSim::routeReplica(const TrafficEvent &ev, std::size_t srv,
+                       std::uint64_t id)
+{
+    ++lbView_[srv];
+    ++replicasDispatched_;
+    server::ServerSim *s = servers_[srv].get();
+    const sim::Tick service = ev.service;
+    s->sim().at(ev.at, [s, id, service] { s->inject(id, service); });
+}
+
+void
+FleetSim::dispatchEpoch(sim::Tick from, sim::Tick to)
+{
+    // Fresh backend view at the epoch boundary; in-epoch dispatches are
+    // layered on top as they happen.
+    for (std::size_t i = 0; i < servers_.size(); ++i)
+        lbView_[i] = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(servers_[i]->outstanding(),
+                                    UINT32_MAX));
+
+    for (const TrafficEvent &ev : traffic_->epoch(from, to)) {
+        const std::uint64_t id = nextId_++;
+        Flight fl;
+        fl.arrival = ev.at;
+        fl.remaining = ev.fanout;
+        fl.lastDone = 0;
+        fl.measured = measuring_ && ev.at >= measureStart_;
+        if (fl.measured)
+            ++dispatched_;
+        if (ev.fanout <= 1) {
+            routeReplica(ev, dispatcher_->pick(lbView_, noBan_), id);
+        } else {
+            // Fanout replicas land on distinct servers (capped at the
+            // fleet size): the slowest replica gates completion.
+            std::fill(banned_.begin(), banned_.end(), false);
+            const int replicas = std::min<int>(
+                ev.fanout, static_cast<int>(servers_.size()));
+            fl.remaining = replicas;
+            for (int k = 0; k < replicas; ++k) {
+                const std::size_t srv = dispatcher_->pick(lbView_,
+                                                          banned_);
+                banned_[srv] = true;
+                routeReplica(ev, srv, id);
+            }
+        }
+        inFlight_.emplace(id, fl);
+    }
+}
+
+void
+FleetSim::advanceServers(sim::Tick to)
+{
+    pool_.parallelFor(servers_.size(), [this, to](std::size_t i) {
+        servers_[i]->advanceTo(to);
+    });
+}
+
+void
+FleetSim::drainCompletions()
+{
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+        for (const auto &[id, done] : completions_[i]) {
+            const auto it = inFlight_.find(id);
+            assert(it != inFlight_.end());
+            Flight &fl = it->second;
+            fl.lastDone = std::max(fl.lastDone, done);
+            if (--fl.remaining > 0)
+                continue;
+            // End-to-end: slowest replica + constant network RTT.
+            const double us = sim::toMicros(fl.lastDone - fl.arrival +
+                                            cfg_.networkLatency);
+            if (fl.measured) {
+                ++completed_;
+                latencyUs_.record(us);
+                latencyHistUs_.record(us);
+                if (us > cfg_.sloUs)
+                    ++sloViolations_;
+            }
+            inFlight_.erase(it);
+        }
+        completions_[i].clear();
+    }
+}
+
+FleetReport
+FleetSim::run()
+{
+    for (auto &s : servers_)
+        s->start();
+
+    const sim::Tick measure_at = cfg_.warmup;
+    const sim::Tick end = cfg_.warmup + cfg_.duration;
+    sim::Tick t = 0;
+    while (t < end) {
+        if (!measuring_ && t >= measure_at) {
+            for (auto &s : servers_)
+                s->beginMeasurement();
+            measuring_ = true;
+            measureStart_ = t;
+        }
+        // Epoch boundaries align with the start of measurement so RAPL
+        // windows begin at a quiescent, single-threaded instant.
+        const sim::Tick limit = measuring_ ? end : measure_at;
+        const sim::Tick t1 = std::min(t + cfg_.epoch, limit);
+        dispatchEpoch(t, t1);
+        advanceServers(t1);
+        drainCompletions();
+        t = t1;
+    }
+
+    // Freeze per-server metrics at the end of the measurement window so
+    // every server's power average covers exactly [warmup, end].
+    perServerResults_.clear();
+    for (auto &s : servers_)
+        perServerResults_.push_back(s->collect());
+
+    // Drain: no new arrivals; let in-flight work finish.
+    const sim::Tick deadline = end + cfg_.drainLimit;
+    while (!inFlight_.empty() && t < deadline) {
+        const sim::Tick t1 = std::min(t + cfg_.epoch, deadline);
+        advanceServers(t1);
+        drainCompletions();
+        t = t1;
+    }
+
+    return aggregate();
+}
+
+FleetReport
+FleetSim::aggregate()
+{
+    FleetReport rep;
+    rep.numServers = servers_.size();
+    rep.dispatched = dispatched_;
+    rep.completed = completed_;
+    rep.inFlightAtEnd = inFlight_.size();
+    rep.replicasDispatched = replicasDispatched_;
+    for (const auto &s : servers_) {
+        rep.serversAccepted += s->accepted();
+        rep.serversCompleted += s->completed();
+        rep.serversOutstanding += s->outstanding();
+    }
+
+    const double window_s = sim::toSeconds(cfg_.duration);
+    rep.achievedQps = window_s > 0
+        ? static_cast<double>(completed_) / window_s : 0.0;
+
+    rep.perServer = perServerResults_;
+    const double n = static_cast<double>(servers_.size());
+    for (const auto &r : perServerResults_) {
+        rep.pkgPowerW += r.pkgPowerW;
+        rep.dramPowerW += r.dramPowerW;
+        rep.avgUtilization += r.utilization / n;
+        for (std::size_t s = 0; s < soc::kNumPkgStates; ++s)
+            rep.pkgResidency[s] += r.pkgResidency[s] / n;
+        rep.replicaLatencyUs.merge(r.latencyHistUs);
+        rep.replicaLatencySummary.merge(r.latencySummary);
+        rep.idlePeriodsUs.merge(r.idlePeriodsUs);
+    }
+    rep.joulesPerRequest = completed_ > 0
+        ? rep.totalPowerW() * window_s / static_cast<double>(completed_)
+        : 0.0;
+
+    rep.avgLatencyUs = latencyUs_.mean();
+    rep.maxLatencyUs = latencyUs_.max();
+    rep.p50LatencyUs = latencyHistUs_.p50();
+    rep.p95LatencyUs = latencyHistUs_.p95();
+    rep.p99LatencyUs = latencyHistUs_.p99();
+    rep.p999LatencyUs = latencyHistUs_.quantile(0.999);
+    rep.latencyUs = latencyHistUs_;
+
+    rep.sloUs = cfg_.sloUs;
+    rep.sloViolations = sloViolations_;
+    rep.sloViolationFraction = completed_ > 0
+        ? static_cast<double>(sloViolations_) /
+            static_cast<double>(completed_)
+        : 0.0;
+    return rep;
+}
+
+} // namespace apc::fleet

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Multi-server fleet simulation.
+ *
+ * Instantiates N independent ServerSim instances (each with its own
+ * event queue and RNG stream) behind a configurable load balancer and
+ * drives them with cluster-level traffic. The fleet advances the
+ * servers in lockstep epochs: at each epoch boundary it generates the
+ * epoch's arrivals (TrafficSource), routes every request — or each
+ * replica of a fanout request — through the dispatch policy, schedules
+ * the injections into the target servers' event queues, then runs all
+ * servers to the epoch end in parallel on a thread pool. Because
+ * servers share no state inside an epoch and all cross-server
+ * bookkeeping happens single-threaded between epochs, runs are
+ * deterministic for a given seed regardless of thread count.
+ *
+ * The dispatcher sees outstanding counts refreshed at epoch boundaries
+ * plus its own in-epoch dispatches — the slightly stale view a real
+ * load balancer has of its backends.
+ */
+
+#ifndef APC_FLEET_FLEET_SIM_H
+#define APC_FLEET_FLEET_SIM_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/dispatch.h"
+#include "fleet/thread_pool.h"
+#include "fleet/traffic.h"
+#include "server/server_sim.h"
+
+namespace apc::fleet {
+
+/** Fleet-wide run setup. */
+struct FleetConfig
+{
+    /** Server count. */
+    std::size_t numServers = 8;
+
+    /**
+     * Per-server template: policy, workload (service distribution and
+     * wake costs; its qps is ignored — traffic is fleet-driven), NUMA,
+     * DVFS. Each server gets a distinct RNG stream derived from seed.
+     */
+    soc::PackagePolicy policy = soc::PackagePolicy::Cpc1a;
+    workload::WorkloadConfig workload =
+        workload::WorkloadConfig::memcachedEtc(0);
+    sim::Tick networkLatency = 117 * sim::kUs;
+
+    TrafficConfig traffic;
+    DispatchKind dispatch = DispatchKind::LeastOutstanding;
+    /**
+     * Packing policy's per-server outstanding budget; 0 derives it from
+     * the server's core count (~70% target utilization).
+     */
+    std::uint32_t packBudget = 0;
+
+    /** Latency SLO for violation accounting. */
+    double sloUs = 1000.0;
+
+    sim::Tick warmup = 20 * sim::kMs;
+    sim::Tick duration = 300 * sim::kMs;
+    /** Dispatch/advance quantum (load-balancer view staleness). */
+    sim::Tick epoch = 200 * sim::kUs;
+    /** Extra time allowed after @p duration to drain in-flight work. */
+    sim::Tick drainLimit = 2 * sim::kSec;
+
+    std::uint64_t seed = 42;
+    /** Worker threads for the per-epoch server advance; <=1 = inline. */
+    unsigned threads = 1;
+};
+
+/** Aggregated fleet metrics. */
+struct FleetReport
+{
+    std::size_t numServers = 0;
+
+    // Request accounting (fleet level: a fanout request counts once).
+    std::uint64_t dispatched = 0; ///< requests routed (measurement window)
+    std::uint64_t completed = 0;  ///< requests finished (all replicas)
+    std::uint64_t inFlightAtEnd = 0;
+
+    // Replica accounting (matches per-server accepted/completed sums).
+    std::uint64_t replicasDispatched = 0; ///< whole run, incl. warmup
+    std::uint64_t serversAccepted = 0;
+    std::uint64_t serversCompleted = 0;
+    std::uint64_t serversOutstanding = 0;
+
+    double achievedQps = 0.0;
+
+    // Fleet power over the measurement window.
+    double pkgPowerW = 0.0;
+    double dramPowerW = 0.0;
+    double totalPowerW() const { return pkgPowerW + dramPowerW; }
+    double joulesPerRequest = 0.0;
+
+    // Fleet end-to-end latency (fanout = slowest replica), µs.
+    double avgLatencyUs = 0.0;
+    double p50LatencyUs = 0.0;
+    double p95LatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
+    double p999LatencyUs = 0.0;
+    double maxLatencyUs = 0.0;
+
+    // SLO accounting.
+    double sloUs = 0.0;
+    std::uint64_t sloViolations = 0;
+    double sloViolationFraction = 0.0;
+
+    // Fleet-average core utilization and package residency.
+    double avgUtilization = 0.0;
+    std::array<double, soc::kNumPkgStates> pkgResidency{};
+
+    /** Pooled end-to-end latency distribution (µs). */
+    stats::Histogram latencyUs{0.1, 1e7, 64};
+
+    /**
+     * Replica-level latency pooled across servers (each server's own
+     * view, merged): differs from `latencyUs` in that a fanout request
+     * contributes one sample per replica here but a single
+     * slowest-replica sample there.
+     */
+    stats::Histogram replicaLatencyUs{0.1, 1e7, 64};
+    stats::Summary replicaLatencySummary;
+
+    /** Fleet-wide idle-period length distribution (µs), merged. */
+    stats::Histogram idlePeriodsUs{0.01, 1e7, 32};
+
+    /** Per-server breakdown (index = server id). */
+    std::vector<server::ServerResult> perServer;
+
+    double
+    pc1aResidency() const
+    {
+        return pkgResidency[static_cast<std::size_t>(soc::PkgState::Pc1a)];
+    }
+};
+
+/** The cluster simulator. */
+class FleetSim
+{
+  public:
+    explicit FleetSim(FleetConfig cfg);
+    ~FleetSim();
+
+    /** Run warmup + measurement + drain; aggregate the fleet report. */
+    FleetReport run();
+
+    std::size_t numServers() const { return servers_.size(); }
+    server::ServerSim &server(std::size_t i) { return *servers_[i]; }
+
+  private:
+    struct Flight
+    {
+        sim::Tick arrival;
+        int remaining;     ///< replicas still running
+        sim::Tick lastDone; ///< slowest replica completion so far
+        bool measured;      ///< arrived inside the measurement window
+    };
+
+    void dispatchEpoch(sim::Tick from, sim::Tick to);
+    void routeReplica(const TrafficEvent &ev, std::size_t srv,
+                      std::uint64_t id);
+    void advanceServers(sim::Tick to);
+    void drainCompletions();
+    FleetReport aggregate();
+
+    FleetConfig cfg_;
+    std::vector<std::unique_ptr<server::ServerSim>> servers_;
+    std::unique_ptr<TrafficSource> traffic_;
+    std::unique_ptr<Dispatcher> dispatcher_;
+    ThreadPool pool_;
+
+    /** LB view: epoch-boundary outstanding + own in-epoch dispatches. */
+    std::vector<std::uint32_t> lbView_;
+    std::vector<bool> banned_;
+    const std::vector<bool> noBan_{};
+
+    /** Per-server results collected at the end of the measurement
+     *  window (before the drain tail, so power windows line up). */
+    std::vector<server::ServerResult> perServerResults_;
+
+    /** Per-server completion buffers (only touched by that server's
+     *  thread during an advance; drained single-threaded after). */
+    std::vector<std::vector<std::pair<std::uint64_t, sim::Tick>>>
+        completions_;
+
+    std::unordered_map<std::uint64_t, Flight> inFlight_;
+    std::uint64_t nextId_ = 0;
+
+    sim::Tick measureStart_ = 0;
+    bool measuring_ = false;
+    std::uint64_t dispatched_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t replicasDispatched_ = 0;
+    std::uint64_t sloViolations_ = 0;
+    stats::Summary latencyUs_;
+    stats::Histogram latencyHistUs_{0.1, 1e7, 64};
+};
+
+} // namespace apc::fleet
+
+#endif // APC_FLEET_FLEET_SIM_H

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Barrier-style thread pool for the fleet epoch loop.
+ *
+ * The fleet advances N independent per-server event queues in lockstep
+ * epochs; within one epoch the servers share no state, so each can run
+ * on its own worker. The pool keeps its workers alive across epochs
+ * (thousands of epochs per run — spawning threads each time would
+ * dominate) and exposes one operation: `parallelFor(n, fn)`, which runs
+ * fn(0..n-1) across the workers and returns when all indices finished.
+ *
+ * With `threads == 1` the pool runs everything inline on the caller —
+ * the mode unit tests use, and the sensible default on small hosts.
+ */
+
+#ifndef APC_FLEET_THREAD_POOL_H
+#define APC_FLEET_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apc::fleet {
+
+/** Persistent fork-join worker pool. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; <= 1 means inline execution. */
+    explicit ThreadPool(unsigned threads)
+    {
+        if (threads <= 1)
+            return;
+        for (unsigned i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        if (workers_.empty())
+            return;
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Run fn(i) for i in [0, n); blocks until every index completed.
+     * fn for different indices may run concurrently — indices must not
+     * share mutable state. The caller thread works too.
+     */
+    void
+    parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+    {
+        if (n == 0)
+            return;
+        if (workers_.empty()) {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+        // Batch state lives in a shared_ptr: a straggling worker that
+        // re-checks for work after the batch finished only touches its
+        // own (still-alive) batch, never the next one's counters or a
+        // dangling fn.
+        auto batch = std::make_shared<Batch>();
+        batch->fn = &fn;
+        batch->total = n;
+        batch->remaining.store(n, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            current_ = batch;
+            ++generation_;
+        }
+        cv_.notify_all();
+        runBatch(*batch);
+        std::unique_lock<std::mutex> lk(m_);
+        doneCv_.wait(lk, [&] {
+            return batch->remaining.load(std::memory_order_acquire) == 0;
+        });
+    }
+
+    /** Worker count (0 = inline mode). */
+    std::size_t size() const { return workers_.size(); }
+
+  private:
+    struct Batch
+    {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::size_t total = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> remaining{0};
+    };
+
+    /** Steal indices until the batch is exhausted. */
+    void
+    runBatch(Batch &b)
+    {
+        for (;;) {
+            const std::size_t i =
+                b.next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= b.total)
+                break;
+            (*b.fn)(i);
+            if (b.remaining.fetch_sub(1, std::memory_order_acq_rel)
+                    == 1) {
+                std::lock_guard<std::mutex> lk(m_);
+                doneCv_.notify_all();
+            }
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            std::shared_ptr<Batch> batch;
+            {
+                std::unique_lock<std::mutex> lk(m_);
+                cv_.wait(lk, [&] {
+                    return stop_ || generation_ != seen;
+                });
+                if (stop_)
+                    return;
+                seen = generation_;
+                batch = current_;
+            }
+            if (batch)
+                runBatch(*batch);
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::condition_variable doneCv_;
+    std::shared_ptr<Batch> current_;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace apc::fleet
+
+#endif // APC_FLEET_THREAD_POOL_H

@@ -41,7 +41,7 @@ ServerSim::recordLatency(sim::Tick end_to_end)
 void
 ServerSim::scheduleNextArrival()
 {
-    if (cfg_.workload.qps <= 0)
+    if (cfg_.externalArrivals || cfg_.workload.qps <= 0)
         return;
     sim_.after(arrivals_->nextGap(sim_.rng()), [this] { onArrival(); });
 }
@@ -50,10 +50,23 @@ void
 ServerSim::onArrival()
 {
     scheduleNextArrival();
-    const bool coalesced =
-        sim_.now() - lastArrival_ <= cfg_.workload.coalesceWindow;
+    admit({sim_.now(), service_->sample(sim_.rng()), false, kNoRequestId});
+}
+
+void
+ServerSim::inject(std::uint64_t id, sim::Tick service)
+{
+    admit({sim_.now(),
+           service > 0 ? service : service_->sample(sim_.rng()), false,
+           id});
+}
+
+void
+ServerSim::admit(Request r)
+{
+    ++accepted_;
+    r.coalesced = sim_.now() - lastArrival_ <= cfg_.workload.coalesceWindow;
     lastArrival_ = sim_.now();
-    const Request r{sim_.now(), service_->sample(sim_.rng()), coalesced};
     // RX over the NIC link (wakes it from L0s/L1 as needed), then wait
     // for the path to memory before the request can be dispatched.
     soc_->nic().transfer(cfg_.workload.nicTransfer, [this, r] {
@@ -109,7 +122,10 @@ ServerSim::serveFront(std::size_t idx, bool was_active)
         if (--*pending > 0)
             return;
         mc.endAccess();
+        ++completed_;
         recordLatency(sim_.now() - r.arrival + cfg_.networkLatency);
+        if (r.id != kNoRequestId && completionFn_)
+            completionFn_(r.id, sim_.now());
         // Response TX (fire-and-forget; keeps the NIC link busy).
         soc_->nic().transfer(cfg_.workload.nicTransfer, nullptr);
         // TX-completion softirq: IRQ affinity spreads the network
@@ -230,8 +246,8 @@ ServerSim::scheduleDvfsSample()
     });
 }
 
-ServerResult
-ServerSim::run()
+void
+ServerSim::start()
 {
     // All cores start idle; the workload wakes them. The remote socket
     // (if any) has no runnable work at all.
@@ -248,34 +264,54 @@ ServerSim::run()
     scheduleNextArrival();
     scheduleTimerTick();
     scheduleDvfsSample();
+}
+
+void
+ServerSim::beginMeasurement()
+{
+    measureStart_ = measureBegan_ = sim_.now();
+    // Drop anything recorded during warmup (external drivers inject
+    // before this point; run() pre-gates via measureStart_, so this is
+    // a no-op there).
+    requests_ = 0;
+    latencyUs_.clear();
+    latencyHistUs_.clear();
+    soc_->resetStats();
+    pkg0_ = soc_->rapl().readCounter(power::Plane::Package);
+    dram0_ = soc_->rapl().readCounter(power::Plane::Dram);
+    if (remoteSoc_) {
+        remoteSoc_->resetStats();
+        rpkg0_ = remoteSoc_->rapl().readCounter(power::Plane::Package);
+        rdram0_ = remoteSoc_->rapl().readCounter(power::Plane::Dram);
+    }
+}
+
+ServerResult
+ServerSim::run()
+{
+    start();
 
     measureStart_ = sim_.now() + cfg_.warmup;
-    power::RaplSample pkg0, dram0;
-    power::RaplSample rpkg0, rdram0;
-    sim_.at(measureStart_, [&] {
-        soc_->resetStats();
-        pkg0 = soc_->rapl().readCounter(power::Plane::Package);
-        dram0 = soc_->rapl().readCounter(power::Plane::Dram);
-        if (remoteSoc_) {
-            remoteSoc_->resetStats();
-            rpkg0 = remoteSoc_->rapl().readCounter(
-                power::Plane::Package);
-            rdram0 = remoteSoc_->rapl().readCounter(power::Plane::Dram);
-        }
-    });
+    sim_.at(measureStart_, [this] { beginMeasurement(); });
 
     const sim::Tick end = measureStart_ + cfg_.duration;
     sim_.runUntil(end);
+    return collect();
+}
 
+ServerResult
+ServerSim::collect()
+{
     const auto pkg1 = soc_->rapl().readCounter(power::Plane::Package);
     const auto dram1 = soc_->rapl().readCounter(power::Plane::Dram);
+    const double window_s = sim::toSeconds(sim_.now() - measureBegan_);
 
     ServerResult res;
     res.requests = requests_;
-    res.achievedQps =
-        static_cast<double>(requests_) / sim::toSeconds(cfg_.duration);
-    res.pkgPowerW = soc_->rapl().averagePower(pkg0, pkg1);
-    res.dramPowerW = soc_->rapl().averagePower(dram0, dram1);
+    res.achievedQps = window_s > 0
+        ? static_cast<double>(requests_) / window_s : 0.0;
+    res.pkgPowerW = soc_->rapl().averagePower(pkg0_, pkg1);
+    res.dramPowerW = soc_->rapl().averagePower(dram0_, dram1);
     res.avgLatencyUs = latencyUs_.mean();
     res.p50LatencyUs = latencyHistUs_.p50();
     res.p95LatencyUs = latencyHistUs_.p95();
@@ -293,12 +329,14 @@ ServerSim::run()
     }
     res.utilization =
         res.coreResidency[static_cast<std::size_t>(cpu::CState::CC0)];
-    const double window = sim::toSeconds(cfg_.duration);
+    const double window = window_s > 0 ? window_s : 1.0;
     res.allIdleFraction =
         sim::toSeconds(soc_->fullIdleTime()) / window;
     res.socWatchIdleFraction =
         sim::toSeconds(soc_->socWatchIdleTime()) / window;
     res.idlePeriodsUs = soc_->idlePeriodsUs();
+    res.latencyHistUs = latencyHistUs_;
+    res.latencySummary = latencyUs_;
 
     if (auto *apmu = soc_->apmu()) {
         res.pc1aEntries = apmu->pc1aEntries();
@@ -313,9 +351,9 @@ ServerSim::run()
         const auto rdram1 =
             remoteSoc_->rapl().readCounter(power::Plane::Dram);
         res.remotePkgPowerW =
-            remoteSoc_->rapl().averagePower(rpkg0, rpkg1);
+            remoteSoc_->rapl().averagePower(rpkg0_, rpkg1);
         res.remoteDramPowerW =
-            remoteSoc_->rapl().averagePower(rdram0, rdram1);
+            remoteSoc_->rapl().averagePower(rdram0_, rdram1);
         res.remotePc1aResidency = remoteSoc_->pkgResidency().residency(
             static_cast<std::size_t>(soc::PkgState::Pc1a), now);
         res.remoteWakes = remoteSoc_->link(4).shallowWakes();

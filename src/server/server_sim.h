@@ -17,10 +17,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "cpu/pstate.h"
+#include "power/rapl.h"
 #include "soc/soc.h"
 #include "stats/histogram.h"
 #include "stats/summary.h"
@@ -64,6 +66,13 @@ struct ServerConfig
     NumaConfig numa{};
     /** When set, overrides the policy-derived SoC config (ablations). */
     std::unique_ptr<soc::SkxConfig> skxOverride;
+    /**
+     * External-dispatch mode: the internal arrival process is not
+     * scheduled; requests enter only via ServerSim::inject() (a fleet
+     * load balancer drives the server). workload.qps is then only used
+     * for wake/coalesce parameters, not arrivals.
+     */
+    bool externalArrivals = false;
 };
 
 /** Aggregated metrics from one run. */
@@ -125,6 +134,11 @@ struct ServerResult
     /** Copy of the idle-period length distribution (µs). */
     stats::Histogram idlePeriodsUs{0.01, 1e7, 32};
 
+    /** Full end-to-end latency distribution and running summary (µs) —
+     *  mergeable across servers for fleet-level aggregation. */
+    stats::Histogram latencyHistUs{0.1, 1e7, 64};
+    stats::Summary latencySummary;
+
     double pc1aResidency() const
     {
         return pkgResidency[static_cast<std::size_t>(soc::PkgState::Pc1a)];
@@ -135,11 +149,67 @@ struct ServerResult
 class ServerSim
 {
   public:
+    /** Sentinel request id for internally generated arrivals. */
+    static constexpr std::uint64_t kNoRequestId = UINT64_MAX;
+
+    /**
+     * Called when an injected request completes, with the request id
+     * passed to inject() and the completion time on this server's
+     * clock. Runs inside this server's event loop: when a fleet
+     * advances servers on worker threads, the hook must only touch
+     * state owned by this server.
+     */
+    using CompletionFn =
+        std::function<void(std::uint64_t id, sim::Tick done)>;
+
     explicit ServerSim(ServerConfig cfg);
     ~ServerSim();
 
     /** Run warmup + measurement; collect metrics. */
     ServerResult run();
+
+    // --- phased API (external drivers: fleet load balancers, REPLs) ---
+
+    /**
+     * Release cores and schedule background activity (and, unless
+     * cfg.externalArrivals, the internal arrival process). Call once
+     * before advanceTo()/inject().
+     */
+    void start();
+
+    /**
+     * Start the measurement window at the current simulated time:
+     * resets residency stats and latches RAPL counters. run() calls
+     * this after cfg.warmup.
+     */
+    void beginMeasurement();
+
+    /** Advance this server's event loop to absolute time @p t. */
+    void advanceTo(sim::Tick t) { sim_.runUntil(t); }
+
+    /** Gather metrics for [beginMeasurement(), now]. */
+    ServerResult collect();
+
+    /**
+     * Hand the server one request at the current simulated time (the
+     * caller schedules the arrival instant). @p service <= 0 samples
+     * the workload's service distribution; a positive value is the
+     * dispatcher-determined service demand in ticks. The completion
+     * hook (if set) fires with @p id when the request finishes.
+     */
+    void inject(std::uint64_t id, sim::Tick service);
+
+    /** Set the completion hook for injected requests. */
+    void onCompletion(CompletionFn fn) { completionFn_ = std::move(fn); }
+
+    /** Requests handed to the server (injected or internal arrivals). */
+    std::uint64_t accepted() const { return accepted_; }
+
+    /** Requests fully served (response sent). */
+    std::uint64_t completed() const { return completed_; }
+
+    /** Accepted but not yet completed (the LB's queue-depth signal). */
+    std::uint64_t outstanding() const { return accepted_ - completed_; }
 
     /** The SoC under test (valid after construction). */
     soc::Soc &soc() { return *soc_; }
@@ -149,12 +219,15 @@ class ServerSim
 
     sim::Simulation &sim() { return sim_; }
 
+    const ServerConfig &config() const { return cfg_; }
+
   private:
     struct Request
     {
         sim::Tick arrival;
         sim::Tick service;
         bool coalesced; ///< arrived within the NIC coalesce window
+        std::uint64_t id = kNoRequestId; ///< set for injected requests
     };
 
     struct CoreCtx
@@ -169,6 +242,7 @@ class ServerSim
 
     void scheduleNextArrival();
     void onArrival();
+    void admit(Request r);
     void assign(const Request &r);
     void pump(std::size_t idx);
     void serveFront(std::size_t idx, bool was_active);
@@ -191,9 +265,15 @@ class ServerSim
     std::unique_ptr<workload::ServiceDist> service_;
     std::vector<CoreCtx> ctx_;
     sim::Tick measureStart_ = 0;
+    sim::Tick measureBegan_ = 0; ///< actual beginMeasurement() time
     /** Far in the past so the first arrival never coalesces. */
     sim::Tick lastArrival_ = -(sim::kTickNever / 2);
     std::uint64_t requests_ = 0;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t completed_ = 0;
+    CompletionFn completionFn_;
+    // RAPL counters latched at beginMeasurement().
+    power::RaplSample pkg0_, dram0_, rpkg0_, rdram0_;
     stats::Summary latencyUs_;
     stats::Histogram latencyHistUs_{0.1, 1e7, 64};
     cpu::PStateTable pstates_ = cpu::PStateTable::skxDefaults();

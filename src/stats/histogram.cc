@@ -105,6 +105,27 @@ Histogram::fractionBetween(double lo, double hi) const
     return acc / static_cast<double>(count_);
 }
 
+bool
+Histogram::merge(const Histogram &other)
+{
+    if (!sameBinning(other))
+        return false;
+    if (other.count_ == 0)
+        return true;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    return true;
+}
+
 void
 Histogram::clear()
 {

@@ -66,6 +66,23 @@ class Histogram
      */
     double fractionBetween(double lo, double hi) const;
 
+    /**
+     * Fold another histogram into this one without losing percentile
+     * fidelity: both must use identical binning (min/max/bins-per-decade),
+     * so merged quantiles equal the quantiles of the pooled samples up to
+     * the usual bin resolution. @return false (no-op) on binning mismatch.
+     */
+    bool merge(const Histogram &other);
+
+    /** @return true if @p other uses the same binning grid. */
+    bool
+    sameBinning(const Histogram &other) const
+    {
+        return minValue_ == other.minValue_ &&
+            maxValue_ == other.maxValue_ &&
+            binsPerDecade_ == other.binsPerDecade_;
+    }
+
     /** Reset to empty, keeping the binning. */
     void clear();
 

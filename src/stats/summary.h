@@ -48,6 +48,33 @@ class Summary
 
     double stddev() const { return std::sqrt(variance()); }
 
+    /**
+     * Fold another summary into this one (Chan et al. parallel
+     * combination), as if every sample of @p other had been recorded
+     * here. Exact for count/sum/min/max/mean; variance combines the M2
+     * moments, so pooled variance matches the single-stream result.
+     */
+    void
+    merge(const Summary &other)
+    {
+        if (other.n_ == 0)
+            return;
+        if (n_ == 0) {
+            *this = other;
+            return;
+        }
+        const double d = other.mean_ - mean_;
+        const auto na = static_cast<double>(n_);
+        const auto nb = static_cast<double>(other.n_);
+        const double nt = na + nb;
+        mean_ += d * nb / nt;
+        m2_ += other.m2_ + d * d * na * nb / nt;
+        n_ += other.n_;
+        sum_ += other.sum_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
     /** Reset to empty. */
     void
     clear()

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * CDF-table distributions (TrafficGenerator idiom).
+ *
+ * Datacenter traffic studies publish request-size / service-demand
+ * distributions as empirical CDF tables: one `<value> <cdf>` pair per
+ * line, values ascending, cdf non-decreasing up to 1 (or 100 — percent
+ * tables are auto-normalized). `CdfTable` loads such a file and samples
+ * it by inverse transform with linear interpolation between the table
+ * points, matching HKUST-SING/TrafficGenerator's `gen_random_cdf`. The
+ * table's analytic mean is exposed so load targets ("run the cluster at
+ * 30% utilization") can be converted to request rates without sampling.
+ */
+
+#ifndef APC_WORKLOAD_CDF_TABLE_H
+#define APC_WORKLOAD_CDF_TABLE_H
+
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "workload/service.h"
+
+namespace apc::workload {
+
+/** Empirical distribution defined by a piecewise-linear CDF. */
+class CdfTable
+{
+  public:
+    /** One CDF point: P(X <= value) = cdf. */
+    struct Point
+    {
+        double value;
+        double cdf;
+    };
+
+    CdfTable() = default;
+
+    /**
+     * Build from points. Values must be non-negative and ascending, cdf
+     * non-decreasing with the last entry > 0; a final cdf of 100 (or any
+     * value > 1) switches percent interpretation and normalizes by it.
+     * Invalid input yields an empty table (check valid()).
+     */
+    explicit CdfTable(std::vector<Point> points);
+
+    /**
+     * Load from a text file: `<value> <cdf>` per line, '#' comments and
+     * blank lines ignored. Returns an empty table on IO/parse failure.
+     */
+    static CdfTable fromFile(const std::string &path);
+
+    /** Parse from an in-memory string (same format as fromFile). */
+    static CdfTable fromString(const std::string &text);
+
+    bool valid() const { return !points_.empty(); }
+    std::size_t size() const { return points_.size(); }
+    const std::vector<Point> &points() const { return points_; }
+
+    /**
+     * Sample by inverse transform: draw u ~ U[0,1) and interpolate
+     * linearly between the bracketing table points. Mass below the first
+     * point's cdf interpolates from (0, 0), TrafficGenerator-style.
+     * @return 0 on an empty table.
+     */
+    double sample(sim::Rng &rng) const;
+
+    /** Analytic mean of the piecewise-linear distribution. */
+    double mean() const { return mean_; }
+
+    /** Largest table value (the distribution's upper bound). */
+    double maxValue() const;
+
+  private:
+    void finalize();
+
+    std::vector<Point> points_; ///< normalized: cdf in [0,1], last == 1
+    double mean_ = 0.0;
+};
+
+/**
+ * Service-time distribution backed by a CDF table. Table values are
+ * unit-less (bytes, KB, µs — whatever the trace recorded); @p unit
+ * converts one table unit into simulator ticks, e.g. `sim::kUs` for a
+ * table in microseconds or a per-KB service cost for a size table.
+ */
+class CdfService : public ServiceDist
+{
+  public:
+    CdfService(CdfTable table, double unit_ticks)
+        : table_(std::move(table)), unit_(unit_ticks)
+    {}
+
+    sim::Tick
+    sample(sim::Rng &rng) override
+    {
+        return static_cast<sim::Tick>(table_.sample(rng) * unit_);
+    }
+
+    sim::Tick
+    mean() const override
+    {
+        return static_cast<sim::Tick>(table_.mean() * unit_);
+    }
+
+    const CdfTable &table() const { return table_; }
+
+  private:
+    CdfTable table_;
+    double unit_;
+};
+
+} // namespace apc::workload
+
+#endif // APC_WORKLOAD_CDF_TABLE_H

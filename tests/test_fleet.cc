@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Unit tests for the fleet simulation subsystem (fleet/).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fleet/dispatch.h"
+#include "fleet/fleet_sim.h"
+#include "fleet/thread_pool.h"
+#include "fleet/traffic.h"
+
+namespace apc::fleet {
+namespace {
+
+using sim::kMs;
+using sim::kUs;
+
+// ---------------------------------------------------------------- dispatch
+
+TEST(Dispatch, RoundRobinCycles)
+{
+    RoundRobinDispatcher rr;
+    const std::vector<std::uint32_t> q{5, 0, 9, 2};
+    const std::vector<bool> none;
+    EXPECT_EQ(rr.pick(q, none), 0u);
+    EXPECT_EQ(rr.pick(q, none), 1u);
+    EXPECT_EQ(rr.pick(q, none), 2u);
+    EXPECT_EQ(rr.pick(q, none), 3u);
+    EXPECT_EQ(rr.pick(q, none), 0u);
+}
+
+TEST(Dispatch, RoundRobinSkipsBanned)
+{
+    RoundRobinDispatcher rr;
+    const std::vector<std::uint32_t> q{0, 0, 0};
+    EXPECT_EQ(rr.pick(q, {true, false, false}), 1u);
+    EXPECT_EQ(rr.pick(q, {false, true, true}), 0u);
+}
+
+TEST(Dispatch, LeastOutstandingPicksShortestQueue)
+{
+    LeastOutstandingDispatcher lo;
+    const std::vector<bool> none;
+    EXPECT_EQ(lo.pick({3, 1, 2}, none), 1u);
+    // Ties break towards the lowest index.
+    EXPECT_EQ(lo.pick({2, 1, 1}, none), 1u);
+    EXPECT_EQ(lo.pick({1, 1, 1}, {true, false, false}), 1u);
+}
+
+TEST(Dispatch, PackingFillsInOrderThenSpills)
+{
+    PackingDispatcher pk(2);
+    const std::vector<bool> none;
+    EXPECT_EQ(pk.pick({0, 0, 0}, none), 0u);
+    EXPECT_EQ(pk.pick({1, 0, 0}, none), 0u);
+    EXPECT_EQ(pk.pick({2, 0, 0}, none), 1u); // server 0 at budget
+    EXPECT_EQ(pk.pick({2, 2, 0}, none), 2u);
+    // Everyone at budget: joins the shortest queue instead.
+    EXPECT_EQ(pk.pick({4, 2, 3}, none), 1u);
+}
+
+// ----------------------------------------------------------------- traffic
+
+TEST(Traffic, DiurnalProfileInterpolatesAndWraps)
+{
+    const auto p = DiurnalProfile::dayNight(24 * kMs, 0.5, 1.5);
+    EXPECT_NEAR(p.multiplierAt(0), 0.5, 1e-9);
+    EXPECT_NEAR(p.multiplierAt(12 * kMs), 1.5, 1e-9);
+    EXPECT_NEAR(p.multiplierAt(6 * kMs), 1.0, 1e-6);
+    // Wraps: one full period later looks the same.
+    EXPECT_NEAR(p.multiplierAt(24 * kMs + 6 * kMs),
+                p.multiplierAt(6 * kMs), 1e-6);
+    const DiurnalProfile flat;
+    EXPECT_DOUBLE_EQ(flat.multiplierAt(123 * kMs), 1.0);
+}
+
+TEST(Traffic, EpochArrivalsMatchConfiguredRate)
+{
+    TrafficConfig tc;
+    tc.arrivalKind = workload::ArrivalKind::Poisson;
+    tc.qps = 50000.0;
+    TrafficSource src(tc, 7);
+    std::uint64_t n = 0;
+    const sim::Tick epoch = 1 * kMs;
+    for (sim::Tick t = 0; t < 2 * sim::kSec; t += epoch)
+        n += src.epoch(t, t + epoch).size();
+    EXPECT_NEAR(static_cast<double>(n) / 2.0, 50000.0, 1500.0);
+}
+
+TEST(Traffic, DiurnalModulatesRate)
+{
+    TrafficConfig tc;
+    tc.qps = 20000.0;
+    tc.diurnal = DiurnalProfile::dayNight(200 * kMs, 0.4, 1.6);
+    TrafficSource src(tc, 11);
+    // Count arrivals in the trough vs the peak quarter of one period.
+    std::uint64_t trough = 0, peak = 0;
+    for (sim::Tick t = 0; t < 200 * kMs; t += kMs) {
+        const auto evs = src.epoch(t, t + kMs);
+        if (t < 50 * kMs)
+            trough += evs.size();
+        else if (t >= 75 * kMs && t < 125 * kMs)
+            peak += evs.size();
+    }
+    EXPECT_GT(static_cast<double>(peak),
+              1.5 * static_cast<double>(trough));
+}
+
+TEST(Traffic, CdfServiceDemandsAndFanoutFlags)
+{
+    TrafficConfig tc;
+    tc.qps = 30000.0;
+    tc.serviceCdf = workload::CdfTable({{0, 0}, {20, 1}}); // µs, mean 10
+    tc.fanout = {0.5, 4};
+    TrafficSource src(tc, 13);
+    EXPECT_EQ(src.meanServiceTicks(), 10 * kUs);
+    std::uint64_t fanned = 0, total = 0;
+    double service_sum = 0;
+    for (sim::Tick t = 0; t < 500 * kMs; t += kMs)
+        for (const auto &ev : src.epoch(t, t + kMs)) {
+            ++total;
+            service_sum += sim::toMicros(ev.service);
+            EXPECT_GE(ev.service, 0);
+            EXPECT_LE(ev.service, 20 * kUs);
+            if (ev.fanout > 1) {
+                EXPECT_EQ(ev.fanout, 4);
+                ++fanned;
+            }
+        }
+    ASSERT_GT(total, 0u);
+    EXPECT_NEAR(service_sum / static_cast<double>(total), 10.0, 0.5);
+    EXPECT_NEAR(static_cast<double>(fanned) / static_cast<double>(total),
+                0.5, 0.02);
+}
+
+// ------------------------------------------------------------- thread pool
+
+TEST(ThreadPoolTest, InlineAndThreadedBothCoverAllIndices)
+{
+    for (unsigned threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        std::vector<int> hits(257, 0);
+        for (int round = 0; round < 3; ++round)
+            pool.parallelFor(hits.size(), [&](std::size_t i) {
+                ++hits[i]; // distinct index => no race
+            });
+        for (int h : hits)
+            EXPECT_EQ(h, 3);
+    }
+}
+
+// --------------------------------------------------------------- fleet sim
+
+FleetConfig
+smallFleet(DispatchKind kind, double util, std::uint64_t seed = 42)
+{
+    FleetConfig fc;
+    fc.numServers = 4;
+    fc.policy = soc::PackagePolicy::Cpc1a;
+    fc.workload = workload::WorkloadConfig::mysqlOltp(0);
+    fc.dispatch = kind;
+    fc.traffic.arrivalKind = workload::ArrivalKind::Poisson;
+    fc.traffic.qps = fc.workload.qpsForUtilization(
+        util, static_cast<int>(fc.numServers) * 10);
+    fc.sloUs = 10000.0;
+    fc.warmup = 20 * kMs;
+    fc.duration = 200 * kMs;
+    fc.seed = seed;
+    return fc;
+}
+
+TEST(Fleet, RequestConservation)
+{
+    auto fc = smallFleet(DispatchKind::LeastOutstanding, 0.2);
+    FleetSim fleet(fc);
+    const auto rep = fleet.run();
+
+    ASSERT_GT(rep.dispatched, 100u);
+    // Every routed replica is accounted for: accepted by some server,
+    // and either completed or still in flight at the drain deadline.
+    EXPECT_EQ(rep.replicasDispatched, rep.serversAccepted);
+    EXPECT_EQ(rep.replicasDispatched,
+              rep.serversCompleted + rep.serversOutstanding);
+    // The drain window is generous: everything finishes.
+    EXPECT_EQ(rep.inFlightAtEnd, 0u);
+    EXPECT_EQ(rep.dispatched, rep.completed);
+}
+
+TEST(Fleet, IdenticalSeedsIdenticalReports)
+{
+    const auto fc1 = smallFleet(DispatchKind::PowerAwarePacking, 0.15, 7);
+    const auto fc2 = smallFleet(DispatchKind::PowerAwarePacking, 0.15, 7);
+    FleetSim a(fc1), b(fc2);
+    const auto ra = a.run();
+    const auto rb = b.run();
+
+    EXPECT_EQ(ra.dispatched, rb.dispatched);
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_EQ(ra.replicasDispatched, rb.replicasDispatched);
+    EXPECT_EQ(ra.sloViolations, rb.sloViolations);
+    EXPECT_DOUBLE_EQ(ra.pkgPowerW, rb.pkgPowerW);
+    EXPECT_DOUBLE_EQ(ra.dramPowerW, rb.dramPowerW);
+    EXPECT_DOUBLE_EQ(ra.avgLatencyUs, rb.avgLatencyUs);
+    EXPECT_DOUBLE_EQ(ra.p99LatencyUs, rb.p99LatencyUs);
+    EXPECT_DOUBLE_EQ(ra.joulesPerRequest, rb.joulesPerRequest);
+    EXPECT_DOUBLE_EQ(ra.avgUtilization, rb.avgUtilization);
+}
+
+TEST(Fleet, ThreadCountDoesNotChangeResults)
+{
+    auto fc1 = smallFleet(DispatchKind::LeastOutstanding, 0.15, 9);
+    fc1.threads = 1;
+    auto fc2 = smallFleet(DispatchKind::LeastOutstanding, 0.15, 9);
+    fc2.threads = 4;
+    FleetSim a(fc1), b(fc2);
+    const auto ra = a.run();
+    const auto rb = b.run();
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_DOUBLE_EQ(ra.pkgPowerW, rb.pkgPowerW);
+    EXPECT_DOUBLE_EQ(ra.p99LatencyUs, rb.p99LatencyUs);
+}
+
+TEST(Fleet, PackingBeatsRoundRobinPowerAtLowLoad)
+{
+    // ≤30% aggregate load: packing concentrates work so drained
+    // servers reach deep package idle; round-robin keeps every server
+    // lukewarm. Packing must save fleet power without busting the SLO.
+    const auto rr =
+        FleetSim(smallFleet(DispatchKind::RoundRobin, 0.25)).run();
+    const auto pk =
+        FleetSim(smallFleet(DispatchKind::PowerAwarePacking, 0.25)).run();
+
+    ASSERT_GT(rr.completed, 500u);
+    ASSERT_GT(pk.completed, 500u);
+    EXPECT_LT(pk.totalPowerW(), rr.totalPowerW());
+    EXPECT_LT(pk.joulesPerRequest, rr.joulesPerRequest);
+    EXPECT_LT(pk.p99LatencyUs, pk.sloUs);
+}
+
+TEST(Fleet, FanoutAmplifiesTailLatency)
+{
+    auto base = smallFleet(DispatchKind::LeastOutstanding, 0.15, 21);
+    base.numServers = 8;
+    base.traffic.qps = base.workload.qpsForUtilization(0.15, 80);
+    base.duration = 150 * kMs;
+
+    auto fanned = base;
+    fanned.traffic.fanout = {1.0, 8}; // every request fans to 8 replicas
+    // Same *request* rate; each request now costs 8 replicas, so scale
+    // the rate down to keep aggregate work comparable.
+    fanned.traffic.qps = base.traffic.qps / 8.0;
+
+    const auto rs = FleetSim(base).run();
+    const auto rf = FleetSim(fanned).run();
+
+    ASSERT_GT(rs.completed, 300u);
+    ASSERT_GT(rf.completed, 50u);
+    // Incast: completion gated by the slowest of 8 replicas.
+    EXPECT_GE(rf.p99LatencyUs, rs.p99LatencyUs);
+    EXPECT_GT(rf.avgLatencyUs, rs.avgLatencyUs);
+}
+
+TEST(Fleet, PerServerBreakdownIsConsistent)
+{
+    const auto rep =
+        FleetSim(smallFleet(DispatchKind::RoundRobin, 0.1)).run();
+    ASSERT_EQ(rep.perServer.size(), rep.numServers);
+    double pkg = 0;
+    std::uint64_t reqs = 0, lat_samples = 0;
+    for (const auto &r : rep.perServer) {
+        pkg += r.pkgPowerW;
+        reqs += r.requests;
+        lat_samples += r.latencyHistUs.count();
+    }
+    EXPECT_DOUBLE_EQ(pkg, rep.pkgPowerW);
+    // Per-server stats cover only the measurement window (warmup
+    // traffic must not leak in), and the merged replica-level
+    // distribution pools exactly the per-server samples.
+    EXPECT_EQ(reqs, lat_samples);
+    EXPECT_EQ(rep.replicaLatencyUs.count(), lat_samples);
+    EXPECT_EQ(rep.replicaLatencySummary.count(), lat_samples);
+    EXPECT_LE(reqs, rep.serversCompleted);
+    EXPECT_GT(rep.idlePeriodsUs.count(), 0u);
+    // Residency fractions stay fractions after averaging.
+    double total = 0;
+    for (double f : rep.pkgResidency)
+        total += f;
+    EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+} // namespace
+} // namespace apc::fleet

@@ -99,6 +99,49 @@ TEST(Histogram, NonPositiveGoesToUnderflowWithoutCrash)
     EXPECT_EQ(h.count(), 2u);
 }
 
+TEST(Histogram, MergePoolsSamples)
+{
+    Histogram a(1.0, 1e6, 64), b(1.0, 1e6, 64), ref(1.0, 1e6, 64);
+    for (int i = 1; i <= 5000; ++i) {
+        a.record(static_cast<double>(i));
+        ref.record(static_cast<double>(i));
+    }
+    for (int i = 5001; i <= 10000; ++i) {
+        b.record(static_cast<double>(i));
+        ref.record(static_cast<double>(i));
+    }
+    ASSERT_TRUE(a.merge(b));
+    EXPECT_EQ(a.count(), ref.count());
+    EXPECT_DOUBLE_EQ(a.sum(), ref.sum());
+    EXPECT_DOUBLE_EQ(a.minSample(), 1.0);
+    EXPECT_DOUBLE_EQ(a.maxSample(), 10000.0);
+    // Merged quantiles equal the pooled single-stream quantiles exactly
+    // (same binning grid => identical bin counts).
+    EXPECT_DOUBLE_EQ(a.quantile(0.5), ref.quantile(0.5));
+    EXPECT_DOUBLE_EQ(a.quantile(0.99), ref.quantile(0.99));
+}
+
+TEST(Histogram, MergeIntoEmptyAndFromEmpty)
+{
+    Histogram a(1.0, 1e6, 32), b(1.0, 1e6, 32);
+    b.record(7.0);
+    ASSERT_TRUE(a.merge(b));
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.minSample(), 7.0);
+    Histogram empty(1.0, 1e6, 32);
+    ASSERT_TRUE(a.merge(empty));
+    EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Histogram, MergeRejectsBinningMismatch)
+{
+    Histogram a(1.0, 1e6, 32), b(1.0, 1e6, 64), c(0.1, 1e6, 32);
+    b.record(5.0);
+    EXPECT_FALSE(a.merge(b));
+    EXPECT_FALSE(a.merge(c));
+    EXPECT_EQ(a.count(), 0u);
+}
+
 TEST(Summary, Empty)
 {
     Summary s;
@@ -135,6 +178,37 @@ TEST(Summary, ClearResets)
     s.clear();
     EXPECT_EQ(s.count(), 0u);
     EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, MergeMatchesSingleStream)
+{
+    Summary a, b, ref;
+    for (int i = 0; i < 100; ++i) {
+        const double v = std::sin(i * 0.1) * 10.0 + 20.0;
+        (i < 40 ? a : b).record(v);
+        ref.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), ref.count());
+    EXPECT_NEAR(a.mean(), ref.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), ref.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), ref.min());
+    EXPECT_DOUBLE_EQ(a.max(), ref.max());
+    EXPECT_NEAR(a.sum(), ref.sum(), 1e-9);
+}
+
+TEST(Summary, MergeWithEmptySides)
+{
+    Summary a, b;
+    b.record(3.0);
+    b.record(5.0);
+    a.merge(b); // empty <- full
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    Summary empty;
+    a.merge(empty); // full <- empty
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
 }
 
 TEST(Residency, AccumulatesTimePerState)

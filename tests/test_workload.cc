@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "workload/cdf_table.h"
 #include "workload/workload.h"
 
 namespace apc::workload {
@@ -67,6 +68,94 @@ TEST(Arrivals, MmppIsBurstier)
     const double mean = sum / n;
     const double var = sum2 / n - mean * mean;
     EXPECT_GT(var / (mean * mean), 1.5);
+}
+
+TEST(Arrivals, SameSeedSameGapSequence)
+{
+    sim::Rng a(7), b(7);
+    PoissonArrivals pa(30000.0), pb(30000.0);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(pa.nextGap(a), pb.nextGap(b));
+    sim::Rng c(9), d(9);
+    MmppArrivals ma(30000.0, 3.0, 200 * kUs), mb(30000.0, 3.0, 200 * kUs);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(ma.nextGap(c), mb.nextGap(d));
+}
+
+TEST(CdfTable, LoadsPercentTableAndNormalizes)
+{
+    // TrafficGenerator-style percent table (web-search-like shape).
+    const auto t = CdfTable::fromString("# size_KB cdf%\n"
+                                        "1 0\n"
+                                        "10 50\n"
+                                        "100 90\n"
+                                        "1000 100\n");
+    ASSERT_TRUE(t.valid());
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_DOUBLE_EQ(t.points().back().cdf, 1.0);
+    EXPECT_DOUBLE_EQ(t.maxValue(), 1000.0);
+}
+
+TEST(CdfTable, AnalyticMeanMatchesPiecewiseLinear)
+{
+    // Uniform on [0, 10]: mean 5.
+    const CdfTable u({{0, 0}, {10, 1}});
+    EXPECT_DOUBLE_EQ(u.mean(), 5.0);
+    // 50% uniform [0,10], 50% uniform [10,30]: 0.5*5 + 0.5*20 = 12.5.
+    const CdfTable m({{0, 0}, {10, 0.5}, {30, 1}});
+    EXPECT_DOUBLE_EQ(m.mean(), 12.5);
+}
+
+TEST(CdfTable, SamplingReproducesTableMean)
+{
+    const auto t = CdfTable::fromString("1 0\n"
+                                        "10 50\n"
+                                        "100 90\n"
+                                        "1000 100\n");
+    ASSERT_TRUE(t.valid());
+    sim::Rng rng(11);
+    double total = 0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) {
+        const double v = t.sample(rng);
+        ASSERT_GE(v, 0.0);
+        ASSERT_LE(v, 1000.0);
+        total += v;
+    }
+    // Sample mean within 2% of the analytic mean.
+    EXPECT_NEAR(total / n, t.mean(), 0.02 * t.mean());
+}
+
+TEST(CdfTable, PointMassStep)
+{
+    // All mass at exactly 42.
+    const CdfTable t({{42, 1}});
+    sim::Rng rng(1);
+    double total = 0;
+    for (int i = 0; i < 1000; ++i)
+        total += t.sample(rng);
+    // Leading segment interpolates from 0 per TrafficGenerator; mean
+    // is 21 for a single-point table.
+    EXPECT_NEAR(total / 1000, t.mean(), 0.05 * t.mean());
+}
+
+TEST(CdfTable, RejectsMalformedTables)
+{
+    EXPECT_FALSE(CdfTable::fromString("").valid());
+    EXPECT_FALSE(CdfTable::fromString("10 50\n5 100\n").valid()); // desc v
+    EXPECT_FALSE(CdfTable::fromString("1 60\n2 40\n").valid());   // desc cdf
+    EXPECT_FALSE(CdfTable::fromString("1 0\n2 0\n").valid());     // no mass
+    EXPECT_FALSE(CdfTable::fromFile("/nonexistent/cdf.txt").valid());
+}
+
+TEST(CdfTable, CdfServiceScalesToTicks)
+{
+    const CdfTable t({{0, 0}, {10, 1}}); // mean 5 table units
+    CdfService svc(t, static_cast<double>(sim::kUs)); // 1 unit = 1 µs
+    EXPECT_EQ(svc.mean(), 5 * sim::kUs);
+    sim::Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LE(svc.sample(rng), 10 * sim::kUs);
 }
 
 TEST(Service, FixedAndMean)
