@@ -65,12 +65,13 @@ main()
     for (const auto &v : variants) {
         const auto idle = runVariant(v.tweak, 0, idle_dur);
         const auto load = runVariant(v.tweak, 25e3, load_dur);
-        t.row({v.name, TablePrinter::num(idle.totalPowerW()),
-               TablePrinter::num(
-                   std::max(idle.apmuExitNsMax, load.apmuExitNsMax), 0),
-               TablePrinter::num(load.totalPowerW()),
-               TablePrinter::num(load.avgLatencyUs, 2),
-               TablePrinter::num(load.p99LatencyUs, 1)});
+        std::vector<std::string> row{
+            v.name, TablePrinter::num(idle.totalPowerW()),
+            TablePrinter::num(
+                std::max(idle.apmuExitNsMax, load.apmuExitNsMax), 0),
+            TablePrinter::num(load.totalPowerW())};
+        bench::appendCols(row, bench::latencyCols(load, 1, false));
+        t.row(std::move(row));
     }
     t.print();
     std::printf("\nReading: deeper substates (L1/self-refresh/PLLs-off) "

@@ -14,9 +14,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/paper_reference.h"
 #include "analysis/table_printer.h"
+#include "fleet/fleet_sim.h"
 #include "server/server_sim.h"
 
 namespace apc::bench {
@@ -51,6 +54,87 @@ runIdle(soc::PackagePolicy policy, sim::Tick duration = 100 * sim::kMs)
 {
     return runServer(policy, workload::WorkloadConfig::memcachedEtc(0),
                      duration);
+}
+
+/**
+ * The latency column block every bench used to assemble by hand:
+ * "avg | [p95] | p99" for one server result.
+ */
+inline std::vector<std::string>
+latencyCols(const server::ServerResult &r, int prec = 1,
+            bool with_p95 = true)
+{
+    using analysis::TablePrinter;
+    std::vector<std::string> cols{TablePrinter::num(r.avgLatencyUs,
+                                                    prec)};
+    if (with_p95)
+        cols.push_back(TablePrinter::num(r.p95LatencyUs, prec));
+    cols.push_back(TablePrinter::num(r.p99LatencyUs, prec));
+    return cols;
+}
+
+/** Append a column block to a row under construction. */
+inline void
+appendCols(std::vector<std::string> &row, std::vector<std::string> cols)
+{
+    for (auto &c : cols)
+        row.push_back(std::move(c));
+}
+
+/** Header labels matching fleetCols(). */
+inline std::vector<std::string>
+fleetColHeaders()
+{
+    return {"Fleet W", "J/req", "p99 (us)", "SLO ok", "PC1A res",
+            "QPS"};
+}
+
+/** The fleet benches' shared metric block. */
+inline std::vector<std::string>
+fleetCols(const fleet::FleetReport &r)
+{
+    using analysis::TablePrinter;
+    return {TablePrinter::watts(r.totalPowerW()),
+            TablePrinter::num(r.joulesPerRequest, 4),
+            TablePrinter::num(r.p99LatencyUs, 0),
+            r.p99LatencyUs <= r.sloUs ? "yes" : "NO",
+            TablePrinter::percent(r.pc1aResidency()),
+            TablePrinter::num(r.achievedQps, 0)};
+}
+
+/**
+ * Fleet sweep-point setup shared by the fleet benches: N C_PC1A
+ * servers under MMPP arrivals sized to the given aggregate load.
+ */
+inline fleet::FleetConfig
+fleetLoadConfig(std::size_t num_servers, fleet::DispatchKind kind,
+                double util, workload::WorkloadConfig wl)
+{
+    fleet::FleetConfig fc;
+    fc.numServers = num_servers;
+    fc.policy = soc::PackagePolicy::Cpc1a;
+    fc.workload = std::move(wl);
+    fc.dispatch = kind;
+    fc.traffic.arrivalKind = workload::ArrivalKind::Mmpp;
+    fc.traffic.burstiness = fc.workload.burstiness;
+    fc.traffic.burstMean = fc.workload.burstMean;
+    const int fleet_cores =
+        static_cast<int>(num_servers) * 10; // SKX: 10 cores/server
+    fc.traffic.qps = fc.workload.qpsForUtilization(util, fleet_cores);
+    fc.sloUs = 10000.0;
+    fc.duration = benchDuration(300 * sim::kMs);
+    return fc;
+}
+
+/**
+ * CSV sink named by APC_BENCH_CSV (null when unset): benches append
+ * sweep rows there so plots don't scrape stdout. Caller fcloses.
+ */
+inline std::FILE *
+csvSink()
+{
+    const char *path = std::getenv("APC_BENCH_CSV");
+    return path && *path ? std::fopen(path, "w") : nullptr;
 }
 
 /** Banner helper. */

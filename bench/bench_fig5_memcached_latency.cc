@@ -20,20 +20,18 @@ main()
                                  200e3, 300e3, 400e3, 600e3};
 
     TablePrinter t("Fig. 5 — end-to-end latency (us); network ~117 us");
-    t.header({"QPS", "avg Cshallow", "avg Cdeep", "p95 Cshallow",
-              "p95 Cdeep", "p99 Cshallow", "p99 Cdeep"});
+    t.header({"QPS", "Csh avg", "Csh p95", "Csh p99", "Cdp avg",
+              "Cdp p95", "Cdp p99"});
     for (const double qps : qps_points) {
         const auto wl = workload::WorkloadConfig::memcachedEtc(qps);
         const auto sh =
             bench::runServer(soc::PackagePolicy::Cshallow, wl);
         const auto dp = bench::runServer(soc::PackagePolicy::Cdeep, wl);
-        t.row({TablePrinter::num(qps / 1000, 0) + "K",
-               TablePrinter::num(sh.avgLatencyUs, 1),
-               TablePrinter::num(dp.avgLatencyUs, 1),
-               TablePrinter::num(sh.p95LatencyUs, 1),
-               TablePrinter::num(dp.p95LatencyUs, 1),
-               TablePrinter::num(sh.p99LatencyUs, 1),
-               TablePrinter::num(dp.p99LatencyUs, 1)});
+        std::vector<std::string> row{
+            TablePrinter::num(qps / 1000, 0) + "K"};
+        bench::appendCols(row, bench::latencyCols(sh));
+        bench::appendCols(row, bench::latencyCols(dp));
+        t.row(std::move(row));
     }
     t.print();
     std::printf("\nExpected shape (paper): Cdeep above Cshallow "

@@ -13,38 +13,14 @@
  * drains servers, and PC1A lets drained servers actually reach deep
  * idle without a tail-latency cliff on the next burst.
  *
- * APC_BENCH_DURATION_MS shortens/lengthens the per-point window.
+ * APC_BENCH_DURATION_MS shortens/lengthens the per-point window;
+ * APC_BENCH_CSV=<path> additionally writes the sweep as CSV.
  */
 
 #include "bench_common.h"
 #include "fleet/fleet_sim.h"
 
 using namespace apc;
-
-namespace {
-
-fleet::FleetReport
-runFleet(fleet::DispatchKind kind, double util, sim::Tick duration)
-{
-    fleet::FleetConfig fc;
-    fc.numServers = 8;
-    fc.policy = soc::PackagePolicy::Cpc1a;
-    fc.workload = workload::WorkloadConfig::mysqlOltp(0);
-    fc.dispatch = kind;
-    fc.traffic.arrivalKind = workload::ArrivalKind::Mmpp;
-    fc.traffic.burstiness = fc.workload.burstiness;
-    fc.traffic.burstMean = fc.workload.burstMean;
-    const int fleet_cores =
-        static_cast<int>(fc.numServers) * 10; // SKX: 10 cores/server
-    fc.traffic.qps = fc.workload.qpsForUtilization(util, fleet_cores);
-    fc.sloUs = 10000.0;
-    fc.duration = bench::benchDuration(300 * sim::kMs);
-    if (duration > 0)
-        fc.duration = duration;
-    return fleet::FleetSim(fc).run();
-}
-
-} // namespace
 
 int
 main()
@@ -62,21 +38,32 @@ main()
     TablePrinter t("8-server fleet, MySQL-OLTP service, MMPP arrivals, "
                    "C_PC1A servers — fleet watts / J/req / p99 by "
                    "dispatch policy");
-    t.header({"Load", "Policy", "Fleet W", "J/req", "p99 (us)",
-              "SLO ok", "PC1A res", "QPS"});
+    std::vector<std::string> header{"Load", "Policy"};
+    bench::appendCols(header, bench::fleetColHeaders());
+    t.header(std::move(header));
+
+    std::FILE *csv = bench::csvSink();
+    if (csv)
+        std::fprintf(csv, "load,policy,%s\n",
+                     fleet::FleetReport::csvHeader().c_str());
 
     double rr_w_low = 0, pk_w_low = 0;
     for (const double load : loads) {
         for (const auto kind : kinds) {
-            const auto r = runFleet(kind, load, 0);
-            t.row({TablePrinter::percent(load, 0),
-                   fleet::dispatchName(kind),
-                   TablePrinter::watts(r.totalPowerW()),
-                   TablePrinter::num(r.joulesPerRequest, 4),
-                   TablePrinter::num(r.p99LatencyUs, 0),
-                   r.p99LatencyUs <= r.sloUs ? "yes" : "NO",
-                   TablePrinter::percent(r.pc1aResidency()),
-                   TablePrinter::num(r.achievedQps, 0)});
+            const auto r =
+                fleet::FleetSim(bench::fleetLoadConfig(
+                                    8, kind, load,
+                                    workload::WorkloadConfig::mysqlOltp(
+                                        0)))
+                    .run();
+            std::vector<std::string> row{TablePrinter::percent(load, 0),
+                                         fleet::dispatchName(kind)};
+            bench::appendCols(row, bench::fleetCols(r));
+            t.row(std::move(row));
+            if (csv)
+                std::fprintf(csv, "%.2f,%s,%s\n", load,
+                             fleet::dispatchName(kind),
+                             r.csvRow().c_str());
             if (load == 0.10) {
                 if (kind == fleet::DispatchKind::RoundRobin)
                     rr_w_low = r.totalPowerW();
@@ -86,6 +73,8 @@ main()
         }
     }
     t.print();
+    if (csv)
+        std::fclose(csv);
 
     if (rr_w_low > 0)
         std::printf("\nPacking vs round-robin at 10%% load: "

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * NIC interrupt-coalescing sweep over the network fabric.
+ *
+ * The scenario the repo could not express before this subsystem: an
+ * 8-server fleet whose requests ride real links into real NICs, where
+ * a *coalesced interrupt* — not the injected request — is what exits
+ * the package C-state. Sweeping the moderation window (`rx-usecs`) at
+ * several aggregate loads exposes the paper's motivating three-way
+ * trade-off, all measured in one run per point:
+ *
+ *  - wider window -> fewer interrupts -> fewer package wakes -> higher
+ *    PC1A residency;
+ *  - shared wakes + longer quiet periods -> lower joules/request;
+ *  - packets wait in the RX ring -> measurably higher p99 latency.
+ *
+ * APC_BENCH_DURATION_MS scales the per-point window;
+ * APC_BENCH_CSV=<path> writes the sweep as CSV for plotting.
+ */
+
+#include "bench_common.h"
+
+using namespace apc;
+
+namespace {
+
+fleet::FleetReport
+runPoint(double util, sim::Tick rx_usecs)
+{
+    auto fc = bench::fleetLoadConfig(
+        8, fleet::DispatchKind::LeastOutstanding, util,
+        workload::WorkloadConfig::memcachedEtc(0));
+    fc.sloUs = 2000.0;
+    fc.fabric.enabled = true;
+    fc.nic.enabled = true;
+    fc.nic.rxUsecs = rx_usecs;
+    fc.nic.rxFrames = 64; // high threshold: the timer sets the window
+    return fleet::FleetSim(fc).run();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Network fabric: NIC coalescing window sweep");
+    using analysis::TablePrinter;
+
+    const double loads[] = {0.10, 0.30};
+    const sim::Tick windows_us[] = {0, 10, 25, 50, 100, 250};
+
+    TablePrinter t("8-server fleet over ToR fabric, Memcached-ETC, "
+                   "MMPP arrivals, C_PC1A servers — rx-usecs vs "
+                   "p99 / PC1A residency / J/req");
+    t.header({"Load", "rx-usecs", "irq/s/srv", "pkts/irq", "p99 (us)",
+              "PC1A res", "Fleet W", "J/req", "lost"});
+
+    std::FILE *csv = bench::csvSink();
+    if (csv)
+        std::fprintf(csv, "load,rx_usecs,%s\n",
+                     fleet::FleetReport::csvHeader().c_str());
+
+    const double window_s =
+        sim::toSeconds(bench::benchDuration(300 * sim::kMs));
+    std::vector<std::pair<fleet::FleetReport, fleet::FleetReport>>
+        endpoints; // (narrowest, widest) window per load
+    for (const double load : loads) {
+        fleet::FleetReport base, wide;
+        for (const sim::Tick w : windows_us) {
+            const auto r = runPoint(load, w * sim::kUs);
+            if (w == windows_us[0])
+                base = r;
+            wide = r;
+            const double irq_rate = static_cast<double>(r.nicInterrupts)
+                / (window_s * static_cast<double>(r.numServers));
+            t.row({TablePrinter::percent(load, 0),
+                   TablePrinter::num(static_cast<double>(w), 0),
+                   TablePrinter::num(irq_rate, 0),
+                   TablePrinter::num(r.nicPktsPerIrq.mean(), 2),
+                   TablePrinter::num(r.p99LatencyUs, 0),
+                   TablePrinter::percent(r.pc1aResidency()),
+                   TablePrinter::watts(r.totalPowerW()),
+                   TablePrinter::num(r.joulesPerRequest, 4),
+                   TablePrinter::num(
+                       static_cast<double>(r.lostRequests), 0)});
+            if (csv)
+                std::fprintf(csv, "%.2f,%lld,%s\n", load,
+                             static_cast<long long>(w),
+                             r.csvRow().c_str());
+        }
+        endpoints.emplace_back(std::move(base), std::move(wide));
+    }
+    t.print();
+    if (csv)
+        std::fclose(csv);
+
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+        const auto &[base, wide] = endpoints[i];
+        std::printf("\nAt %2.0f%%: rx-usecs %lld -> %lld moves PC1A "
+                    "%s -> %s, J/req %.4f -> %.4f, p99 %+0.0f us",
+                    loads[i] * 100,
+                    static_cast<long long>(windows_us[0]),
+                    static_cast<long long>(
+                        windows_us[std::size(windows_us) - 1]),
+                    TablePrinter::percent(base.pc1aResidency()).c_str(),
+                    TablePrinter::percent(wide.pc1aResidency()).c_str(),
+                    base.joulesPerRequest, wide.joulesPerRequest,
+                    wide.p99LatencyUs - base.p99LatencyUs);
+    }
+    std::printf("\n");
+
+    std::printf("\nReading: the moderation window is the knob that "
+                "converts tail-latency headroom into package C-state "
+                "residency — the NIC holds packets, the package sleeps "
+                "through them, and one DMA burst pays one wake for the "
+                "whole batch.\n");
+    return 0;
+}

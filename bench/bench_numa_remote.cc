@@ -49,18 +49,19 @@ main()
              {soc::PackagePolicy::Cshallow, soc::PackagePolicy::Cpc1a,
               soc::PackagePolicy::Cdeep}) {
             const auto r = runNuma(policy, f);
-            t.row({TablePrinter::percent(f, 0),
-                   soc::policyName(policy),
-                   TablePrinter::num(r.remotePkgPowerW +
-                                     r.remoteDramPowerW),
-                   TablePrinter::percent(r.remotePc1aResidency),
-                   TablePrinter::num(
-                       static_cast<double>(r.remoteWakes) /
-                           sim::toSeconds(bench::benchDuration(
-                               200 * sim::kMs)),
-                       0),
-                   TablePrinter::num(r.avgLatencyUs, 1),
-                   TablePrinter::num(r.p99LatencyUs, 1)});
+            std::vector<std::string> row{
+                TablePrinter::percent(f, 0), soc::policyName(policy),
+                TablePrinter::num(r.remotePkgPowerW +
+                                  r.remoteDramPowerW),
+                TablePrinter::percent(r.remotePc1aResidency),
+                TablePrinter::num(
+                    static_cast<double>(r.remoteWakes) /
+                        sim::toSeconds(
+                            bench::benchDuration(200 * sim::kMs)),
+                    0)};
+            bench::appendCols(row,
+                              bench::latencyCols(r, 1, false));
+            t.row(std::move(row));
         }
     }
     t.print();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <tuple>
 
 namespace apc::fleet {
 
@@ -20,6 +22,47 @@ mixSeed(std::uint64_t seed, std::uint64_t stream)
 
 } // namespace
 
+std::string
+FleetReport::csvHeader()
+{
+    return "num_servers,dispatched,completed,lost,retransmits,"
+           "achieved_qps,pkg_w,dram_w,nic_w,fabric_w,total_w,"
+           "j_per_req,avg_us,p50_us,p95_us,p99_us,p999_us,max_us,"
+           "slo_us,slo_violation_frac,utilization,pc1a_residency,"
+           "nic_irqs,nic_rx_drops,pkts_per_irq_avg";
+}
+
+std::string
+FleetReport::csvRow() const
+{
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%zu,%llu,%llu,%llu,%llu,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f,"
+        "%.6f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.1f,%.6f,%.4f,%.4f,"
+        "%llu,%llu,%.2f",
+        numServers, static_cast<unsigned long long>(dispatched),
+        static_cast<unsigned long long>(completed),
+        static_cast<unsigned long long>(lostRequests),
+        static_cast<unsigned long long>(netRetransmits), achievedQps,
+        pkgPowerW, dramPowerW, nicPowerW, fabricPowerW, totalPowerW(),
+        joulesPerRequest, avgLatencyUs, p50LatencyUs, p95LatencyUs,
+        p99LatencyUs, p999LatencyUs, maxLatencyUs, sloUs,
+        sloViolationFraction, avgUtilization, pc1aResidency(),
+        static_cast<unsigned long long>(nicInterrupts),
+        static_cast<unsigned long long>(nicRxDrops),
+        nicPktsPerIrq.mean());
+    return buf;
+}
+
+void
+FleetReport::writeCsv(std::FILE *out, bool with_header) const
+{
+    if (with_header)
+        std::fprintf(out, "%s\n", csvHeader().c_str());
+    std::fprintf(out, "%s\n", csvRow().c_str());
+}
+
 FleetSim::FleetSim(FleetConfig cfg)
     : cfg_(std::move(cfg)),
       pool_(std::min<unsigned>(cfg_.threads,
@@ -28,13 +71,16 @@ FleetSim::FleetSim(FleetConfig cfg)
     assert(cfg_.numServers > 0);
     servers_.reserve(cfg_.numServers);
     completions_.resize(cfg_.numServers);
+    drops_.resize(cfg_.numServers);
     for (std::size_t i = 0; i < cfg_.numServers; ++i) {
         server::ServerConfig sc;
         sc.policy = cfg_.policy;
         sc.workload = cfg_.workload;
-        sc.networkLatency = cfg_.networkLatency;
+        sc.networkLatency =
+            cfg_.fabric.enabled ? 0 : cfg_.networkLatency;
         sc.seed = mixSeed(cfg_.seed, i);
         sc.externalArrivals = true;
+        sc.nic = cfg_.nic;
         servers_.push_back(
             std::make_unique<server::ServerSim>(std::move(sc)));
         auto &buf = completions_[i];
@@ -42,9 +88,19 @@ FleetSim::FleetSim(FleetConfig cfg)
             [&buf](std::uint64_t id, sim::Tick done) {
                 buf.emplace_back(id, done);
             });
+        if (cfg_.nic.enabled) {
+            auto &dbuf = drops_[i];
+            servers_[i]->onRxDrop(
+                [&dbuf](std::uint64_t id, sim::Tick at) {
+                    dbuf.emplace_back(id, at);
+                });
+        }
     }
     traffic_ = std::make_unique<TrafficSource>(
         cfg_.traffic, mixSeed(cfg_.seed, 0xF1EE7));
+    if (cfg_.fabric.enabled)
+        fabric_ = std::make_unique<net::Fabric>(cfg_.fabric,
+                                                cfg_.numServers);
 
     std::uint32_t budget = cfg_.packBudget;
     if (budget == 0) {
@@ -62,15 +118,30 @@ FleetSim::FleetSim(FleetConfig cfg)
 
 FleetSim::~FleetSim() = default;
 
-void
-FleetSim::routeReplica(const TrafficEvent &ev, std::size_t srv,
+bool
+FleetSim::sendReplica(sim::Tick at, sim::Tick service, std::size_t srv,
+                      std::uint64_t id)
+{
+    server::ServerSim *s = servers_[srv].get();
+    sim::Tick deliver = at;
+    if (fabric_) {
+        const auto tr = fabric_->toServer(at, srv);
+        netRetransmits_ += static_cast<std::uint64_t>(tr.retransmits);
+        if (tr.lost)
+            return false;
+        deliver = tr.deliverAt;
+    }
+    s->sim().at(deliver, [s, id, service] { s->inject(id, service); });
+    return true;
+}
+
+bool
+FleetSim::routeReplica(sim::Tick at, sim::Tick service, std::size_t srv,
                        std::uint64_t id)
 {
     ++lbView_[srv];
     ++replicasDispatched_;
-    server::ServerSim *s = servers_[srv].get();
-    const sim::Tick service = ev.service;
-    s->sim().at(ev.at, [s, id, service] { s->inject(id, service); });
+    return sendReplica(at, service, srv, id);
 }
 
 void
@@ -87,28 +158,38 @@ FleetSim::dispatchEpoch(sim::Tick from, sim::Tick to)
         const std::uint64_t id = nextId_++;
         Flight fl;
         fl.arrival = ev.at;
-        fl.remaining = ev.fanout;
+        fl.service = ev.service;
+        fl.remaining = 0;
+        fl.lost = 0;
         fl.lastDone = 0;
         fl.measured = measuring_ && ev.at >= measureStart_;
         if (fl.measured)
             ++dispatched_;
         if (ev.fanout <= 1) {
-            routeReplica(ev, dispatcher_->pick(lbView_, noBan_), id);
+            const std::size_t srv = dispatcher_->pick(lbView_, noBan_);
+            if (routeReplica(ev.at, ev.service, srv, id))
+                ++fl.remaining;
+            else
+                ++fl.lost;
         } else {
             // Fanout replicas land on distinct servers (capped at the
             // fleet size): the slowest replica gates completion.
             std::fill(banned_.begin(), banned_.end(), false);
             const int replicas = std::min<int>(
                 ev.fanout, static_cast<int>(servers_.size()));
-            fl.remaining = replicas;
             for (int k = 0; k < replicas; ++k) {
                 const std::size_t srv = dispatcher_->pick(lbView_,
                                                           banned_);
                 banned_[srv] = true;
-                routeReplica(ev, srv, id);
+                if (routeReplica(ev.at, ev.service, srv, id))
+                    ++fl.remaining;
+                else
+                    ++fl.lost;
             }
         }
-        inFlight_.emplace(id, fl);
+        const auto it = inFlight_.emplace(id, fl).first;
+        if (fl.remaining == 0)
+            finishFlight(it); // every replica was lost in the fabric
     }
 }
 
@@ -121,29 +202,110 @@ FleetSim::advanceServers(sim::Tick to)
 }
 
 void
+FleetSim::finishFlight(FlightMap::iterator it)
+{
+    const Flight &fl = it->second;
+    if (fl.measured) {
+        if (fl.lost > 0) {
+            // A request with any replica dropped beyond retry never
+            // answers the client: count it lost and against the SLO.
+            ++lostRequests_;
+            ++sloViolations_;
+        } else {
+            // End-to-end: slowest replica's response at the client.
+            // Without a fabric the constant network RTT stands in.
+            const sim::Tick extra = fabric_ ? 0 : cfg_.networkLatency;
+            const double us =
+                sim::toMicros(fl.lastDone - fl.arrival + extra);
+            ++completed_;
+            latencyUs_.record(us);
+            latencyHistUs_.record(us);
+            if (us > cfg_.sloUs)
+                ++sloViolations_;
+        }
+    }
+    inFlight_.erase(it);
+}
+
+void
 FleetSim::drainCompletions()
 {
+    // Merge per-server buffers into one time-ordered stream so the
+    // shared response links see offers in a deterministic, sensible
+    // order regardless of which thread advanced which server.
+    std::vector<std::tuple<sim::Tick, std::size_t, std::uint64_t>> resp;
     for (std::size_t i = 0; i < servers_.size(); ++i) {
-        for (const auto &[id, done] : completions_[i]) {
-            const auto it = inFlight_.find(id);
-            assert(it != inFlight_.end());
-            Flight &fl = it->second;
-            fl.lastDone = std::max(fl.lastDone, done);
-            if (--fl.remaining > 0)
-                continue;
-            // End-to-end: slowest replica + constant network RTT.
-            const double us = sim::toMicros(fl.lastDone - fl.arrival +
-                                            cfg_.networkLatency);
-            if (fl.measured) {
-                ++completed_;
-                latencyUs_.record(us);
-                latencyHistUs_.record(us);
-                if (us > cfg_.sloUs)
-                    ++sloViolations_;
-            }
-            inFlight_.erase(it);
-        }
+        for (const auto &[id, done] : completions_[i])
+            resp.emplace_back(done, i, id);
         completions_[i].clear();
+    }
+    std::sort(resp.begin(), resp.end());
+
+    for (const auto &[done, srv, id] : resp) {
+        const auto it = inFlight_.find(id);
+        assert(it != inFlight_.end());
+        Flight &fl = it->second;
+        if (fabric_) {
+            const auto tr = fabric_->toClient(done, srv);
+            netRetransmits_ +=
+                static_cast<std::uint64_t>(tr.retransmits);
+            if (tr.lost)
+                ++fl.lost;
+            else
+                fl.lastDone = std::max(fl.lastDone, tr.deliverAt);
+        } else {
+            fl.lastDone = std::max(fl.lastDone, done);
+        }
+        if (--fl.remaining == 0)
+            finishFlight(it);
+    }
+}
+
+void
+FleetSim::drainNicDrops(sim::Tick now_floor)
+{
+    std::vector<std::tuple<sim::Tick, std::size_t, std::uint64_t>> drops;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+        for (const auto &[id, at] : drops_[i])
+            drops.emplace_back(at, i, id);
+        drops_[i].clear();
+    }
+    if (drops.empty())
+        return;
+    std::sort(drops.begin(), drops.end());
+
+    for (const auto &[when, srv, id] : drops) {
+        const auto it = inFlight_.find(id);
+        assert(it != inFlight_.end());
+        Flight &fl = it->second;
+        // This replica's attempt count (missing entry = the first send
+        // already happened).
+        const auto srv_key = static_cast<std::uint32_t>(srv);
+        auto entry = std::find_if(
+            fl.triesBySrv.begin(), fl.triesBySrv.end(),
+            [srv_key](const auto &e) { return e.first == srv_key; });
+        if (entry == fl.triesBySrv.end()) {
+            fl.triesBySrv.emplace_back(srv_key, 1);
+            entry = fl.triesBySrv.end() - 1;
+        }
+        if (entry->second >= cfg_.fabric.maxTries) {
+            ++fl.lost;
+            if (--fl.remaining == 0)
+                finishFlight(it);
+            continue;
+        }
+        // Client resend of the tail-dropped replica to the same
+        // server after the RTO (floored at the fleet's current epoch
+        // edge: the drop was only observed at the drain point).
+        ++entry->second;
+        ++netRetransmits_;
+        const sim::Tick at =
+            std::max(when + cfg_.fabric.rto, now_floor);
+        if (!sendReplica(at, fl.service, srv, id)) {
+            ++fl.lost;
+            if (--fl.remaining == 0)
+                finishFlight(it);
+        }
     }
 }
 
@@ -160,6 +322,8 @@ FleetSim::run()
         if (!measuring_ && t >= measure_at) {
             for (auto &s : servers_)
                 s->beginMeasurement();
+            if (fabric_)
+                fabric_->beginWindow();
             measuring_ = true;
             measureStart_ = t;
         }
@@ -170,14 +334,19 @@ FleetSim::run()
         dispatchEpoch(t, t1);
         advanceServers(t1);
         drainCompletions();
+        drainNicDrops(t1);
         t = t1;
     }
 
     // Freeze per-server metrics at the end of the measurement window so
-    // every server's power average covers exactly [warmup, end].
+    // every server's power average covers exactly [warmup, end]; latch
+    // fabric power on the same boundary (drain traffic would otherwise
+    // smear busy time into a fixed-length window).
     perServerResults_.clear();
     for (auto &s : servers_)
         perServerResults_.push_back(s->collect());
+    if (fabric_)
+        fabricPowerW_ = fabric_->averagePowerW(cfg_.duration);
 
     // Drain: no new arrivals; let in-flight work finish.
     const sim::Tick deadline = end + cfg_.drainLimit;
@@ -185,6 +354,7 @@ FleetSim::run()
         const sim::Tick t1 = std::min(t + cfg_.epoch, deadline);
         advanceServers(t1);
         drainCompletions();
+        drainNicDrops(t1);
         t = t1;
     }
 
@@ -215,12 +385,21 @@ FleetSim::aggregate()
     for (const auto &r : perServerResults_) {
         rep.pkgPowerW += r.pkgPowerW;
         rep.dramPowerW += r.dramPowerW;
+        rep.nicPowerW += r.nicPowerW;
         rep.avgUtilization += r.utilization / n;
         for (std::size_t s = 0; s < soc::kNumPkgStates; ++s)
             rep.pkgResidency[s] += r.pkgResidency[s] / n;
         rep.replicaLatencyUs.merge(r.latencyHistUs);
         rep.replicaLatencySummary.merge(r.latencySummary);
         rep.idlePeriodsUs.merge(r.idlePeriodsUs);
+        rep.nicInterrupts += r.nicInterrupts;
+        rep.nicRxDrops += r.nicRxDrops;
+        rep.nicPktsPerIrq.merge(r.nicPktsPerIrq);
+        rep.nicWakeUs.merge(r.nicWakeUs);
+    }
+    if (fabric_) {
+        rep.fabricStats = fabric_->stats();
+        rep.fabricPowerW = fabricPowerW_;
     }
     rep.joulesPerRequest = completed_ > 0
         ? rep.totalPowerW() * window_s / static_cast<double>(completed_)
@@ -236,9 +415,12 @@ FleetSim::aggregate()
 
     rep.sloUs = cfg_.sloUs;
     rep.sloViolations = sloViolations_;
-    rep.sloViolationFraction = completed_ > 0
+    rep.lostRequests = lostRequests_;
+    rep.netRetransmits = netRetransmits_;
+    const std::uint64_t answered = completed_ + lostRequests_;
+    rep.sloViolationFraction = answered > 0
         ? static_cast<double>(sloViolations_) /
-            static_cast<double>(completed_)
+            static_cast<double>(answered)
         : 0.0;
     return rep;
 }

@@ -24,13 +24,16 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "fleet/dispatch.h"
 #include "fleet/thread_pool.h"
 #include "fleet/traffic.h"
+#include "net/fabric.h"
 #include "server/server_sim.h"
 
 namespace apc::fleet {
@@ -53,6 +56,18 @@ struct FleetConfig
 
     TrafficConfig traffic;
     DispatchKind dispatch = DispatchKind::LeastOutstanding;
+
+    /**
+     * Network fabric between the client side and the servers. When
+     * enabled, dispatches, fanout replicas and responses ride lossy
+     * finite-buffer links instead of teleporting, per-server
+     * networkLatency is zeroed (the fabric carries the real delay),
+     * and end-to-end latency is measured at client response delivery.
+     */
+    net::FabricConfig fabric;
+
+    /** Per-server NIC model (normally enabled together with fabric). */
+    net::NicConfig nic;
     /**
      * Packing policy's per-server outstanding budget; 0 derives it from
      * the server's core count (~70% target utilization).
@@ -95,7 +110,14 @@ struct FleetReport
     // Fleet power over the measurement window.
     double pkgPowerW = 0.0;
     double dramPowerW = 0.0;
-    double totalPowerW() const { return pkgPowerW + dramPowerW; }
+    /** NIC devices + fabric links (zero unless net modeling is on). */
+    double nicPowerW = 0.0;
+    double fabricPowerW = 0.0;
+    double netPowerW() const { return nicPowerW + fabricPowerW; }
+    double totalPowerW() const
+    {
+        return pkgPowerW + dramPowerW + netPowerW();
+    }
     double joulesPerRequest = 0.0;
 
     // Fleet end-to-end latency (fanout = slowest replica), µs.
@@ -110,6 +132,21 @@ struct FleetReport
     double sloUs = 0.0;
     std::uint64_t sloViolations = 0;
     double sloViolationFraction = 0.0;
+
+    // Network accounting (fabric/NIC enabled runs only).
+    /** Measured requests that never completed (drops beyond retry). */
+    std::uint64_t lostRequests = 0;
+    /** Client resends: fabric retransmits + NIC ring-drop resends. */
+    std::uint64_t netRetransmits = 0;
+    std::uint64_t nicInterrupts = 0;
+    std::uint64_t nicRxDrops = 0;
+    /** Pooled per-interrupt batch size across all NICs. */
+    stats::Summary nicPktsPerIrq;
+    /** Pooled NIC-wake -> fabric-ready latency (µs). */
+    stats::Summary nicWakeUs;
+    /** Per-link counter sums (conservation: enqueued = delivered +
+     *  dropped, exactly). */
+    net::FabricStats fabricStats;
 
     // Fleet-average core utilization and package residency.
     double avgUtilization = 0.0;
@@ -138,6 +175,15 @@ struct FleetReport
     {
         return pkgResidency[static_cast<std::size_t>(soc::PkgState::Pc1a)];
     }
+
+    /** Column names matching csvRow(), comma-separated. */
+    static std::string csvHeader();
+
+    /** One comma-separated record of the report's headline metrics. */
+    std::string csvRow() const;
+
+    /** Write csvHeader (optionally) + csvRow to @p out. */
+    void writeCsv(std::FILE *out, bool with_header = true) const;
 };
 
 /** The cluster simulator. */
@@ -157,22 +203,42 @@ class FleetSim
     struct Flight
     {
         sim::Tick arrival;
-        int remaining;     ///< replicas still running
+        sim::Tick service;  ///< dispatcher-chosen demand (resends)
+        int remaining;      ///< replicas still running
+        int lost;           ///< replicas dropped beyond retry
         sim::Tick lastDone; ///< slowest replica completion so far
         bool measured;      ///< arrived inside the measurement window
+        /**
+         * Per-replica send attempts, keyed by server (fanout replicas
+         * land on distinct servers; resends target the same one).
+         * Absent entry = one attempt so far.
+         */
+        std::vector<std::pair<std::uint32_t, int>> triesBySrv;
     };
 
+    using FlightMap = std::unordered_map<std::uint64_t, Flight>;
+
     void dispatchEpoch(sim::Tick from, sim::Tick to);
-    void routeReplica(const TrafficEvent &ev, std::size_t srv,
+    /** @return false if the replica was lost in the fabric. */
+    bool routeReplica(sim::Tick at, sim::Tick service, std::size_t srv,
                       std::uint64_t id);
+    /** Fabric transit + inject scheduling for one replica send;
+     *  shared by first sends and NIC-drop resends. */
+    bool sendReplica(sim::Tick at, sim::Tick service, std::size_t srv,
+                     std::uint64_t id);
     void advanceServers(sim::Tick to);
     void drainCompletions();
+    /** Client-side retransmission of NIC ring drops. */
+    void drainNicDrops(sim::Tick now_floor);
+    /** All replicas resolved: record latency or loss, erase. */
+    void finishFlight(FlightMap::iterator it);
     FleetReport aggregate();
 
     FleetConfig cfg_;
     std::vector<std::unique_ptr<server::ServerSim>> servers_;
     std::unique_ptr<TrafficSource> traffic_;
     std::unique_ptr<Dispatcher> dispatcher_;
+    std::unique_ptr<net::Fabric> fabric_;
     ThreadPool pool_;
 
     /** LB view: epoch-boundary outstanding + own in-epoch dispatches. */
@@ -189,7 +255,11 @@ class FleetSim
     std::vector<std::vector<std::pair<std::uint64_t, sim::Tick>>>
         completions_;
 
-    std::unordered_map<std::uint64_t, Flight> inFlight_;
+    /** Per-server NIC RX-drop buffers (same threading discipline). */
+    std::vector<std::vector<std::pair<std::uint64_t, sim::Tick>>>
+        drops_;
+
+    FlightMap inFlight_;
     std::uint64_t nextId_ = 0;
 
     sim::Tick measureStart_ = 0;
@@ -198,6 +268,11 @@ class FleetSim
     std::uint64_t completed_ = 0;
     std::uint64_t replicasDispatched_ = 0;
     std::uint64_t sloViolations_ = 0;
+    std::uint64_t lostRequests_ = 0;
+    std::uint64_t netRetransmits_ = 0;
+    /** Fabric power latched when the measurement window closes (the
+     *  drain tail must not smear the per-window average). */
+    double fabricPowerW_ = 0.0;
     stats::Summary latencyUs_;
     stats::Histogram latencyHistUs_{0.1, 1e7, 64};
 };

@@ -131,6 +131,7 @@ void
 IoLink::transfer(sim::Tick payload_time, std::function<void()> done)
 {
     ++transactions_;
+    ++transfers_;
     idleTimer_.cancel();
 
     auto start_payload = [this, payload_time, done = std::move(done)] {
@@ -207,7 +208,8 @@ IoLink::enterL1(std::function<void()> done)
     }
     enteringL1_ = true;
     idleTimer_.cancel();
-    sim_.after(cfg_.l1EntryLatency, [this, done = std::move(done)] {
+    entryEvent_ = sim_.after(cfg_.l1EntryLatency,
+                             [this, done = std::move(done)] {
         enteringL1_ = false;
         setState(LState::L1);
         // InL0s means "L0s or deeper" (paper Sec. 4.2.1): L1 qualifies.
@@ -220,23 +222,40 @@ IoLink::enterL1(std::function<void()> done)
 void
 IoLink::exitL1(std::function<void()> done)
 {
-    assert(state_ == LState::L1);
-    wakeWaiters_.push_back(std::move(done));
-    if (!exiting_) {
-        exiting_ = true;
-        inL0s_.write(false);
-        load_.setPower(cfg_.powerL0);
-        wakeEvent_ = sim_.after(cfg_.l1ExitLatency, [this] {
-            exiting_ = false;
-            setState(LState::L0);
-            auto waiters = std::move(wakeWaiters_);
-            wakeWaiters_.clear();
-            for (auto &w : waiters)
-                if (w)
-                    w();
-            updateIdleTimer();
-        });
+    // Traffic may have beaten the GPMU to the wake: queue behind an
+    // exit already in flight, abort a not-yet-completed entry (the
+    // link never left L0), and treat an awake link as a no-op.
+    if (exiting_) {
+        wakeWaiters_.push_back(std::move(done));
+        return;
     }
+    if (enteringL1_) {
+        entryEvent_.cancel();
+        enteringL1_ = false;
+        if (done)
+            done();
+        updateIdleTimer();
+        return;
+    }
+    if (state_ != LState::L1) {
+        if (done)
+            done();
+        return;
+    }
+    wakeWaiters_.push_back(std::move(done));
+    exiting_ = true;
+    inL0s_.write(false);
+    load_.setPower(cfg_.powerL0);
+    wakeEvent_ = sim_.after(cfg_.l1ExitLatency, [this] {
+        exiting_ = false;
+        setState(LState::L0);
+        auto waiters = std::move(wakeWaiters_);
+        wakeWaiters_.clear();
+        for (auto &w : waiters)
+            if (w)
+                w();
+        updateIdleTimer();
+    });
 }
 
 } // namespace apc::io

@@ -108,6 +108,9 @@ class IoLink
     /** Completed shallow-state wakeups. */
     std::uint64_t shallowWakes() const { return shallowWakes_; }
 
+    /** Transfers started over this link (DMA bursts, payloads). */
+    std::uint64_t transfers() const { return transfers_; }
+
     const IoLinkConfig &config() const { return cfg_; }
     const std::string &name() const { return cfg_.name; }
 
@@ -131,8 +134,10 @@ class IoLink
     stats::ResidencyCounter<kNumLStates> residency_;
     sim::EventHandle idleTimer_;
     sim::EventHandle wakeEvent_;
+    sim::EventHandle entryEvent_;
     std::vector<std::function<void()>> wakeWaiters_;
     std::uint64_t shallowWakes_ = 0;
+    std::uint64_t transfers_ = 0;
 };
 
 } // namespace apc::io

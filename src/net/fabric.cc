@@ -1,0 +1,130 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apc::net {
+
+DropTailLink::Offer
+DropTailLink::offer(sim::Tick now, std::uint32_t bytes)
+{
+    ++offered_;
+    const sim::Tick ser = serializationTime(bytes);
+    const sim::Tick backlog = busyUntil_ > now ? busyUntil_ - now : 0;
+    // Tail drop when the queued serialization backlog already holds a
+    // full buffer's worth of packets.
+    if (backlog >= static_cast<sim::Tick>(cfg_.queuePackets) * ser) {
+        ++dropped_;
+        return {false, 0};
+    }
+    busyUntil_ = std::max(now, busyUntil_) + ser;
+    busyTime_ += ser;
+    ++delivered_;
+    bytes_ += bytes;
+    return {true, busyUntil_ + cfg_.propDelay};
+}
+
+Fabric::Fabric(FabricConfig cfg, std::size_t num_servers)
+    : cfg_(std::move(cfg)), coreIn_(cfg_.core), coreOut_(cfg_.core)
+{
+    assert(num_servers > 0);
+    down_.reserve(num_servers);
+    up_.reserve(num_servers);
+    for (std::size_t i = 0; i < num_servers; ++i) {
+        LinkConfig lc = cfg_.edge;
+        lc.name = cfg_.edge.name + std::to_string(i);
+        down_.emplace_back(lc);
+        up_.emplace_back(std::move(lc));
+    }
+}
+
+Fabric::Transit
+Fabric::route(sim::Tick now, DropTailLink &first, DropTailLink &second,
+              std::uint32_t bytes)
+{
+    Transit tr;
+    sim::Tick attempt_at = now;
+    for (int attempt = 1;; ++attempt) {
+        const auto h1 = first.offer(attempt_at, bytes);
+        if (h1.accepted) {
+            const auto h2 =
+                second.offer(h1.deliverAt + cfg_.switchLatency, bytes);
+            if (h2.accepted) {
+                tr.deliverAt = h2.deliverAt;
+                return tr;
+            }
+        }
+        if (attempt >= cfg_.maxTries) {
+            tr.lost = true;
+            ++lost_;
+            return tr;
+        }
+        ++tr.retransmits;
+        ++retransmits_;
+        attempt_at += cfg_.rto;
+    }
+}
+
+Fabric::Transit
+Fabric::toServer(sim::Tick now, std::size_t srv)
+{
+    assert(srv < down_.size());
+    ++requests_;
+    return route(now, coreIn_, down_[srv], cfg_.requestBytes);
+}
+
+Fabric::Transit
+Fabric::toClient(sim::Tick now, std::size_t srv)
+{
+    assert(srv < up_.size());
+    ++responses_;
+    return route(now, up_[srv], coreOut_, cfg_.responseBytes);
+}
+
+void
+Fabric::beginWindow()
+{
+    coreIn_.beginWindow();
+    coreOut_.beginWindow();
+    for (auto &l : down_)
+        l.beginWindow();
+    for (auto &l : up_)
+        l.beginWindow();
+    requests_ = responses_ = retransmits_ = lost_ = 0;
+}
+
+FabricStats
+Fabric::stats() const
+{
+    FabricStats s;
+    const auto add = [&s](const DropTailLink &l) {
+        s.enqueued += l.offered();
+        s.delivered += l.delivered();
+        s.dropped += l.dropped();
+    };
+    add(coreIn_);
+    add(coreOut_);
+    for (const auto &l : down_)
+        add(l);
+    for (const auto &l : up_)
+        add(l);
+    s.requests = requests_;
+    s.responses = responses_;
+    s.retransmits = retransmits_;
+    s.lost = lost_;
+    return s;
+}
+
+double
+Fabric::averagePowerW(sim::Tick window) const
+{
+    double w = coreIn_.averagePowerW(window) +
+        coreOut_.averagePowerW(window);
+    for (const auto &l : down_)
+        w += l.averagePowerW(window);
+    for (const auto &l : up_)
+        w += l.averagePowerW(window);
+    return w;
+}
+
+} // namespace apc::net

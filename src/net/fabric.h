@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Inter-server network fabric: point-to-point links and a ToR-style
+ * switch with bandwidth, propagation delay, and finite drop-tail
+ * buffers (the ns-3 AQM-model idiom, reduced to its analytic core).
+ *
+ * Topology (one rack): the client/load-balancer side reaches the ToR
+ * over a shared core link, and each server hangs off the ToR on its own
+ * edge link; every link is full duplex (one `DropTailLink` instance per
+ * direction), so requests and responses never contend with each other:
+ *
+ *     client ==core==> [ToR] --edge--> server i      (requests)
+ *     client <==core== [ToR] <--edge-- server i      (responses)
+ *
+ * Links are analytic FIFO queues rather than event-driven ones: a
+ * packet offered at time t behind `backlog` ticks of queued
+ * serialization either tail-drops (backlog at capacity) or departs at
+ * `max(t, busyUntil) + serialization` and arrives after the propagation
+ * delay. This costs no simulator events, which keeps the fleet's
+ * lockstep-epoch determinism intact: the fabric is only ever touched
+ * from the single-threaded dispatch/drain sections.
+ *
+ * A drop triggers a bounded source retransmit after an RTO; a packet
+ * that exhausts its tries is lost and reported. Per-link counters keep
+ * the conservation identity `offered == delivered + dropped` exact.
+ */
+
+#ifndef APC_NET_FABRIC_H
+#define APC_NET_FABRIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace apc::net {
+
+/** One link direction's physical parameters. */
+struct LinkConfig
+{
+    std::string name = "link";
+    double gbps = 10.0;
+    sim::Tick propDelay = 600 * sim::kNs;
+    /** Drop-tail buffer, in packets' worth of serialization backlog. */
+    std::size_t queuePackets = 128;
+    /** PHY power: baseline, and while serializing. */
+    double idleW = 0.5;
+    double activeW = 2.0;
+};
+
+/** Analytic FIFO drop-tail link (one direction). */
+class DropTailLink
+{
+  public:
+    explicit DropTailLink(LinkConfig cfg) : cfg_(std::move(cfg)) {}
+
+    struct Offer
+    {
+        bool accepted;
+        sim::Tick deliverAt; ///< arrival at the far end (accepted only)
+    };
+
+    /**
+     * Offer a @p bytes packet to the queue at time @p now. Offers need
+     * not be globally time-ordered (the fleet processes responses a
+     * drain-round at a time); the queue state only moves forward.
+     */
+    Offer offer(sim::Tick now, std::uint32_t bytes);
+
+    /** Wire time for @p bytes at the configured rate. */
+    sim::Tick
+    serializationTime(std::uint32_t bytes) const
+    {
+        return sim::fromNanos(static_cast<double>(bytes) * 8.0 /
+                              cfg_.gbps);
+    }
+
+    std::uint64_t offered() const { return offered_; }
+    std::uint64_t delivered() const { return delivered_; }
+    std::uint64_t dropped() const { return dropped_; }
+    std::uint64_t bytesDelivered() const { return bytes_; }
+
+    /** Time spent serializing since the window began. */
+    sim::Tick busyTime() const { return busyTime_; }
+
+    /** Zero counters for a new measurement window. */
+    void
+    beginWindow()
+    {
+        offered_ = delivered_ = dropped_ = bytes_ = 0;
+        busyTime_ = 0;
+    }
+
+    /** Average power over a window of @p window ticks. */
+    double
+    averagePowerW(sim::Tick window) const
+    {
+        if (window <= 0)
+            return cfg_.idleW;
+        const double busy = static_cast<double>(busyTime_) /
+            static_cast<double>(window);
+        return cfg_.idleW + (cfg_.activeW - cfg_.idleW) * busy;
+    }
+
+    const LinkConfig &config() const { return cfg_; }
+
+  private:
+    LinkConfig cfg_;
+    sim::Tick busyUntil_ = 0;
+    sim::Tick busyTime_ = 0;
+    std::uint64_t offered_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+/** Fabric-wide configuration. */
+struct FabricConfig
+{
+    /** Gate for FleetSim: off = legacy zero-cost direct injection. */
+    bool enabled = false;
+
+    /** ToR <-> server template (name is set per instance). */
+    LinkConfig edge;
+
+    /** Client <-> ToR aggregate path. Default propagation approximates
+     *  the paper's ~117 µs client round trip. */
+    LinkConfig core;
+
+    /** ToR forwarding latency per hop. */
+    sim::Tick switchLatency = 500 * sim::kNs;
+
+    std::uint32_t requestBytes = 512;
+    std::uint32_t responseBytes = 1500;
+
+    /** Source retransmit timeout after a drop. */
+    sim::Tick rto = 1 * sim::kMs;
+
+    /** Total attempts per packet (1 original + maxTries-1 resends). */
+    int maxTries = 4;
+
+    FabricConfig()
+    {
+        edge.name = "edge";
+        edge.gbps = 10.0;
+        edge.propDelay = 600 * sim::kNs;
+        edge.queuePackets = 128;
+        edge.idleW = 0.5;
+        edge.activeW = 2.0;
+        core.name = "core";
+        core.gbps = 40.0;
+        core.propDelay = 55 * sim::kUs;
+        core.queuePackets = 256;
+        core.idleW = 2.0;
+        core.activeW = 6.0;
+    }
+};
+
+/** Aggregated fabric counters (per-link sums + path-level outcomes). */
+struct FabricStats
+{
+    // Per-link-offer sums: enqueued == delivered + dropped, exactly.
+    std::uint64_t enqueued = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+
+    // Path-level accounting.
+    std::uint64_t requests = 0;    ///< client -> server transits asked
+    std::uint64_t responses = 0;   ///< server -> client transits asked
+    std::uint64_t retransmits = 0; ///< extra attempts after drops
+    std::uint64_t lost = 0;        ///< transits that exhausted maxTries
+};
+
+/** The rack fabric: core links, ToR, per-server edge links. */
+class Fabric
+{
+  public:
+    Fabric(FabricConfig cfg, std::size_t num_servers);
+
+    /** Outcome of one end-to-end transit (including retransmits). */
+    struct Transit
+    {
+        sim::Tick deliverAt = 0;
+        int retransmits = 0;
+        bool lost = false;
+    };
+
+    /** Route a request from the client to server @p srv's NIC. */
+    Transit toServer(sim::Tick now, std::size_t srv);
+
+    /** Route a response from server @p srv back to the client. */
+    Transit toClient(sim::Tick now, std::size_t srv);
+
+    /** Reset all counters (start of a measurement window). */
+    void beginWindow();
+
+    FabricStats stats() const;
+
+    /** Average fabric power over a window of @p window ticks. */
+    double averagePowerW(sim::Tick window) const;
+
+    std::size_t numServers() const { return down_.size(); }
+    const DropTailLink &downlink(std::size_t i) const { return down_[i]; }
+    const DropTailLink &uplink(std::size_t i) const { return up_[i]; }
+    const DropTailLink &coreIngress() const { return coreIn_; }
+    const DropTailLink &coreEgress() const { return coreOut_; }
+
+    const FabricConfig &config() const { return cfg_; }
+
+  private:
+    /** Two-hop path with bounded source retransmission on drop. */
+    Transit route(sim::Tick now, DropTailLink &first,
+                  DropTailLink &second, std::uint32_t bytes);
+
+    FabricConfig cfg_;
+    DropTailLink coreIn_;  ///< client -> ToR
+    DropTailLink coreOut_; ///< ToR -> client
+    std::vector<DropTailLink> down_; ///< ToR -> server i
+    std::vector<DropTailLink> up_;   ///< server i -> ToR
+    std::uint64_t requests_ = 0;
+    std::uint64_t responses_ = 0;
+    std::uint64_t retransmits_ = 0;
+    std::uint64_t lost_ = 0;
+};
+
+} // namespace apc::net
+
+#endif // APC_NET_FABRIC_H

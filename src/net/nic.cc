@@ -1,0 +1,93 @@
+#include "net/nic.h"
+
+#include <cassert>
+#include <utility>
+
+namespace apc::net {
+
+Nic::Nic(sim::Simulation &sim, power::EnergyMeter &meter,
+         io::IoLink &link, const NicConfig &cfg)
+    : sim_(sim), cfg_(cfg), link_(link),
+      load_(meter, "nic-dev", power::Plane::Network, cfg.idleW)
+{
+    assert(cfg_.rxRingSize > 0 && cfg_.rxFrames > 0);
+    ring_.reserve(cfg_.rxRingSize);
+}
+
+void
+Nic::dmaBegin()
+{
+    if (dmaInFlight_++ == 0)
+        load_.setPower(cfg_.activeW);
+}
+
+void
+Nic::dmaEnd()
+{
+    assert(dmaInFlight_ > 0);
+    if (--dmaInFlight_ == 0)
+        load_.setPower(cfg_.idleW);
+}
+
+void
+Nic::rxEnqueue(std::uint64_t id, sim::Tick service)
+{
+    if (ring_.size() >= cfg_.rxRingSize) {
+        ++stats_.rxDropped;
+        if (dropFn_)
+            dropFn_(id, sim_.now());
+        return;
+    }
+    ring_.push_back({id, service, sim_.now()});
+    ++stats_.rxPackets;
+    if (ring_.size() >= cfg_.rxFrames || cfg_.rxUsecs <= 0) {
+        timer_.cancel();
+        fireInterrupt();
+    } else if (ring_.size() == 1) {
+        // Timer runs from the oldest unsignalled descriptor.
+        timer_ = sim_.after(cfg_.rxUsecs, [this] { fireInterrupt(); });
+    }
+}
+
+void
+Nic::fireInterrupt()
+{
+    if (ring_.empty())
+        return;
+    std::vector<RxPacket> batch = std::move(ring_);
+    ring_.clear();
+    ring_.reserve(cfg_.rxRingSize);
+
+    const sim::Tick irq_at = sim_.now();
+    ++stats_.interrupts;
+    stats_.pktsPerIrq.record(static_cast<double>(batch.size()));
+    for (const RxPacket &p : batch)
+        stats_.ringWaitUs.record(sim::toMicros(irq_at - p.enqueuedAt));
+
+    // The DMA burst is what wakes the PCIe link (L0s/L1 exit) and, via
+    // the dropped InL0s wire, the package — a coalesced interrupt, not
+    // the request itself, exits the C-state.
+    dmaBegin();
+    const sim::Tick dma =
+        static_cast<sim::Tick>(batch.size()) * cfg_.dmaPerPacket;
+    link_.transfer(dma, [this, irq_at, batch = std::move(batch)]() mutable {
+        dmaEnd();
+        if (deliverFn_)
+            deliverFn_(std::move(batch), irq_at);
+    });
+}
+
+void
+Nic::txSend(std::function<void()> done)
+{
+    ++stats_.txPackets;
+    dmaBegin();
+    link_.transfer(cfg_.dmaPerPacket,
+                   [this, done = std::move(done)] {
+                       dmaEnd();
+                       if (done)
+                           done();
+                   });
+}
+
+} // namespace apc::net

@@ -19,15 +19,22 @@ enum class Plane : std::size_t
 {
     Package = 0, ///< RAPL.Package: cores + uncore + IOs + PHYs
     Dram = 1,    ///< RAPL.DRAM: DRAM devices
+    /**
+     * Devices outside the RAPL domains: the NIC and other PCIe
+     * adapters. RAPL never sees this plane (the paper measures only
+     * Package and DRAM); the fleet report folds it in separately.
+     */
+    Network = 2,
 };
 
-inline constexpr std::size_t kNumPlanes = 2;
+inline constexpr std::size_t kNumPlanes = 3;
 
 /** Short display name for a plane. */
 constexpr const char *
 planeName(Plane p)
 {
-    return p == Plane::Package ? "Package" : "DRAM";
+    constexpr const char *names[] = {"Package", "DRAM", "Network"};
+    return names[static_cast<std::size_t>(p)];
 }
 
 } // namespace apc::power

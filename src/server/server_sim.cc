@@ -23,6 +23,19 @@ ServerSim::ServerSim(ServerConfig cfg)
     arrivals_ = cfg_.workload.makeArrivals();
     service_ = cfg_.workload.makeService();
     ctx_.resize(soc_->numCores());
+    if (cfg_.nic.enabled) {
+        nic_ = std::make_unique<net::Nic>(sim_, soc_->meter(),
+                                          soc_->nic(), cfg_.nic);
+        nic_->onDeliver(
+            [this](std::vector<net::Nic::RxPacket> batch,
+                   sim::Tick irq_at) {
+                deliverNicBatch(std::move(batch), irq_at);
+            });
+        nic_->onRxDrop([this](std::uint64_t id, sim::Tick at) {
+            if (id != kNoRequestId && rxDropFn_)
+                rxDropFn_(id, at);
+        });
+    }
 }
 
 ServerSim::~ServerSim() = default;
@@ -50,15 +63,45 @@ void
 ServerSim::onArrival()
 {
     scheduleNextArrival();
-    admit({sim_.now(), service_->sample(sim_.rng()), false, kNoRequestId});
+    const sim::Tick svc = service_->sample(sim_.rng());
+    if (nic_)
+        nic_->rxEnqueue(kNoRequestId, svc);
+    else
+        admit({sim_.now(), svc, false, kNoRequestId});
 }
 
 void
 ServerSim::inject(std::uint64_t id, sim::Tick service)
 {
-    admit({sim_.now(),
-           service > 0 ? service : service_->sample(sim_.rng()), false,
-           id});
+    const sim::Tick svc =
+        service > 0 ? service : service_->sample(sim_.rng());
+    if (nic_)
+        nic_->rxEnqueue(id, svc);
+    else
+        admit({sim_.now(), svc, false, id});
+}
+
+void
+ServerSim::deliverNicBatch(std::vector<net::Nic::RxPacket> batch,
+                           sim::Tick irq_at)
+{
+    // The DMA burst already woke the PCIe link; once the fabric (CLM +
+    // memory controllers) reopens, the whole batch is admitted behind
+    // the one shared package exit — which is exactly the wake-sharing
+    // the moderation window buys.
+    soc_->whenFabricReady([this, batch = std::move(batch), irq_at] {
+        if (sim_.now() >= measureStart_)
+            nicWakeUs_.record(sim::toMicros(sim_.now() - irq_at));
+        bool first = true;
+        for (const net::Nic::RxPacket &p : batch) {
+            ++accepted_;
+            // Latency counts from RX-ring arrival: the coalescing wait
+            // is part of the request's end-to-end cost. Followers of
+            // the batch share the leader's wake.
+            assign({p.enqueuedAt, p.service, !first, p.id});
+            first = false;
+        }
+    });
 }
 
 void
@@ -124,10 +167,21 @@ ServerSim::serveFront(std::size_t idx, bool was_active)
         mc.endAccess();
         ++completed_;
         recordLatency(sim_.now() - r.arrival + cfg_.networkLatency);
-        if (r.id != kNoRequestId && completionFn_)
-            completionFn_(r.id, sim_.now());
-        // Response TX (fire-and-forget; keeps the NIC link busy).
-        soc_->nic().transfer(cfg_.workload.nicTransfer, nullptr);
+        if (nic_) {
+            // Response TX through the NIC: the request completes (and
+            // the fleet's response enters the fabric) when the packet
+            // has left the device, not when the core finished.
+            const std::uint64_t rid = r.id;
+            nic_->txSend([this, rid] {
+                if (rid != kNoRequestId && completionFn_)
+                    completionFn_(rid, sim_.now());
+            });
+        } else {
+            if (r.id != kNoRequestId && completionFn_)
+                completionFn_(r.id, sim_.now());
+            // Response TX (fire-and-forget; keeps the NIC link busy).
+            soc_->nic().transfer(cfg_.workload.nicTransfer, nullptr);
+        }
         // TX-completion softirq: IRQ affinity spreads the network
         // stack's completion work onto another core.
         scheduleSoftirq(idx);
@@ -277,6 +331,11 @@ ServerSim::beginMeasurement()
     latencyUs_.clear();
     latencyHistUs_.clear();
     soc_->resetStats();
+    if (nic_) {
+        nic_->resetStats();
+        nicWakeUs_.clear();
+        nicEnergy0_ = soc_->meter().planeEnergy(power::Plane::Network);
+    }
     pkg0_ = soc_->rapl().readCounter(power::Plane::Package);
     dram0_ = soc_->rapl().readCounter(power::Plane::Dram);
     if (remoteSoc_) {
@@ -361,6 +420,20 @@ ServerSim::collect()
     res.pc6Entries = soc_->gpmu().pc6Entries();
     res.pc6EntryUsAvg = soc_->gpmu().entryLatencyUs().mean();
     res.pc6ExitUsAvg = soc_->gpmu().exitLatencyUs().mean();
+    if (nic_) {
+        const auto &ns = nic_->stats();
+        res.nicInterrupts = ns.interrupts;
+        res.nicRxPackets = ns.rxPackets;
+        res.nicRxDrops = ns.rxDropped;
+        res.nicTxPackets = ns.txPackets;
+        res.nicPktsPerIrq = ns.pktsPerIrq;
+        res.nicRingWaitUs = ns.ringWaitUs;
+        res.nicWakeUs = nicWakeUs_;
+        res.nicEnergyJ =
+            soc_->meter().planeEnergy(power::Plane::Network) -
+            nicEnergy0_;
+        res.nicPowerW = window_s > 0 ? res.nicEnergyJ / window_s : 0.0;
+    }
     return res;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cpu/pstate.h"
+#include "net/nic.h"
 #include "power/rapl.h"
 #include "soc/soc.h"
 #include "stats/histogram.h"
@@ -73,6 +74,16 @@ struct ServerConfig
      * for wake/coalesce parameters, not arrivals.
      */
     bool externalArrivals = false;
+
+    /**
+     * NIC device model. When enabled, arrivals (internal or injected)
+     * land in the NIC RX ring and wait for a moderated interrupt whose
+     * DMA wakes the PCIe link — and through it the package — instead
+     * of touching the wake path per request. Responses leave via NIC
+     * TX. The rx-usecs/rx-frames coalescing parameters then supersede
+     * the workload's gap-based coalesceWindow heuristic.
+     */
+    net::NicConfig nic{};
 };
 
 /** Aggregated metrics from one run. */
@@ -131,6 +142,21 @@ struct ServerResult
     double pc6EntryUsAvg = 0.0;
     double pc6ExitUsAvg = 0.0;
 
+    // NIC statistics (zero unless cfg.nic.enabled).
+    std::uint64_t nicInterrupts = 0;
+    std::uint64_t nicRxPackets = 0;
+    std::uint64_t nicRxDrops = 0;
+    std::uint64_t nicTxPackets = 0;
+    /** NIC device power/energy (Network plane, outside RAPL). */
+    double nicPowerW = 0.0;
+    double nicEnergyJ = 0.0;
+    /** Batch size per interrupt (mergeable across servers). */
+    stats::Summary nicPktsPerIrq;
+    /** Descriptor wait in the RX ring, µs. */
+    stats::Summary nicRingWaitUs;
+    /** NIC interrupt -> fabric-ready (package exit included), µs. */
+    stats::Summary nicWakeUs;
+
     /** Copy of the idle-period length distribution (µs). */
     stats::Histogram idlePeriodsUs{0.01, 1e7, 32};
 
@@ -161,6 +187,14 @@ class ServerSim
      */
     using CompletionFn =
         std::function<void(std::uint64_t id, sim::Tick done)>;
+
+    /**
+     * Called when the NIC RX ring tail-drops an injected request (NIC
+     * mode only); same threading rules as CompletionFn. The fleet uses
+     * it to drive client retransmission.
+     */
+    using RxDropFn =
+        std::function<void(std::uint64_t id, sim::Tick at)>;
 
     explicit ServerSim(ServerConfig cfg);
     ~ServerSim();
@@ -201,6 +235,12 @@ class ServerSim
 
     /** Set the completion hook for injected requests. */
     void onCompletion(CompletionFn fn) { completionFn_ = std::move(fn); }
+
+    /** Set the RX-ring drop hook for injected requests (NIC mode). */
+    void onRxDrop(RxDropFn fn) { rxDropFn_ = std::move(fn); }
+
+    /** The NIC device; null unless cfg.nic.enabled. */
+    net::Nic *nicDevice() { return nic_.get(); }
 
     /** Requests handed to the server (injected or internal arrivals). */
     std::uint64_t accepted() const { return accepted_; }
@@ -243,6 +283,9 @@ class ServerSim
     void scheduleNextArrival();
     void onArrival();
     void admit(Request r);
+    /** NIC interrupt batch: shared wake, then per-packet admission. */
+    void deliverNicBatch(std::vector<net::Nic::RxPacket> batch,
+                         sim::Tick irq_at);
     void assign(const Request &r);
     void pump(std::size_t idx);
     void serveFront(std::size_t idx, bool was_active);
@@ -261,6 +304,7 @@ class ServerSim
     sim::Simulation sim_;
     std::unique_ptr<soc::Soc> soc_;
     std::unique_ptr<soc::Soc> remoteSoc_;
+    std::unique_ptr<net::Nic> nic_;
     std::unique_ptr<workload::ArrivalProcess> arrivals_;
     std::unique_ptr<workload::ServiceDist> service_;
     std::vector<CoreCtx> ctx_;
@@ -272,6 +316,9 @@ class ServerSim
     std::uint64_t accepted_ = 0;
     std::uint64_t completed_ = 0;
     CompletionFn completionFn_;
+    RxDropFn rxDropFn_;
+    stats::Summary nicWakeUs_;
+    double nicEnergy0_ = 0.0; ///< Network-plane energy at measurement start
     // RAPL counters latched at beginMeasurement().
     power::RaplSample pkg0_, dram0_, rpkg0_, rdram0_;
     stats::Summary latencyUs_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 
 namespace apc::stats {
 
@@ -124,6 +125,24 @@ Histogram::merge(const Histogram &other)
     count_ += other.count_;
     sum_ += other.sum_;
     return true;
+}
+
+std::string
+Histogram::toCsv() const
+{
+    std::string out = "bin_lower,bin_upper,count\n";
+    char line[96];
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (!bins_[i])
+            continue;
+        const double lo = binLowerEdge(i);
+        const double hi =
+            i + 1 < bins_.size() ? binLowerEdge(i + 1) : max_;
+        std::snprintf(line, sizeof(line), "%.6g,%.6g,%llu\n", lo, hi,
+                      static_cast<unsigned long long>(bins_[i]));
+        out += line;
+    }
+    return out;
 }
 
 void

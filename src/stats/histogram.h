@@ -14,6 +14,7 @@
 #define APC_STATS_HISTOGRAM_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace apc::stats {
@@ -85,6 +86,14 @@ class Histogram
 
     /** Reset to empty, keeping the binning. */
     void clear();
+
+    /**
+     * CSV rendering for plotting: a `bin_lower,bin_upper,count` header
+     * plus one row per non-empty bin (underflow has lower edge 0; the
+     * overflow bin's upper edge is the largest recorded sample). An
+     * empty histogram renders as just the header.
+     */
+    std::string toCsv() const;
 
     /** Bin count (for iteration/plotting). */
     std::size_t numBins() const { return bins_.size(); }
