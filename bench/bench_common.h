@@ -34,16 +34,19 @@ benchDuration(sim::Tick fallback = 300 * sim::kMs)
     return fallback;
 }
 
-/** Run one server experiment. */
+/** Run one server experiment (optionally with the ondemand DVFS
+ *  governor enabled — the paper's Sec. 8 comparison axis). */
 inline server::ServerResult
 runServer(soc::PackagePolicy policy, const workload::WorkloadConfig &wl,
-          sim::Tick duration = 0, std::uint64_t seed = 42)
+          sim::Tick duration = 0, std::uint64_t seed = 42,
+          bool dvfs = false)
 {
     server::ServerConfig cfg;
     cfg.policy = policy;
     cfg.workload = wl;
     cfg.duration = duration > 0 ? duration : benchDuration();
     cfg.seed = seed;
+    cfg.dvfs.enabled = dvfs;
     server::ServerSim sim(std::move(cfg));
     return sim.run();
 }
@@ -118,8 +121,8 @@ fleetLoadConfig(std::size_t num_servers, fleet::DispatchKind kind,
     fc.traffic.arrivalKind = workload::ArrivalKind::Mmpp;
     fc.traffic.burstiness = fc.workload.burstiness;
     fc.traffic.burstMean = fc.workload.burstMean;
-    const int fleet_cores =
-        static_cast<int>(num_servers) * 10; // SKX: 10 cores/server
+    const int fleet_cores = static_cast<int>(num_servers) *
+        soc::SkxConfig::forPolicy(fc.policy).numCores;
     fc.traffic.qps = fc.workload.qpsForUtilization(util, fleet_cores);
     fc.sloUs = 10000.0;
     fc.duration = benchDuration(300 * sim::kMs);

@@ -9,6 +9,9 @@
  *   1. Cshallow @ nominal        (the datacenter baseline),
  *   2. Cshallow + ondemand DVFS  (the classic power-management answer),
  *   3. CPC1A @ nominal           (race-to-halt with APC).
+ *
+ * APC_BENCH_DURATION_MS scales the per-point window; APC_BENCH_CSV
+ * writes one record per (qps, config) point.
  */
 
 #include "bench_common.h"
@@ -17,17 +20,12 @@ using namespace apc;
 
 namespace {
 
-server::ServerResult
-runPoint(soc::PackagePolicy policy, double qps, bool dvfs)
+struct Config
 {
-    server::ServerConfig cfg;
-    cfg.policy = policy;
-    cfg.workload = workload::WorkloadConfig::memcachedEtc(qps);
-    cfg.duration = bench::benchDuration();
-    cfg.dvfs.enabled = dvfs;
-    server::ServerSim sim(std::move(cfg));
-    return sim.run();
-}
+    const char *name;
+    soc::PackagePolicy policy;
+    bool dvfs;
+};
 
 } // namespace
 
@@ -38,40 +36,63 @@ main()
     using analysis::TablePrinter;
 
     const double qps_points[] = {4e3, 25e3, 50e3, 100e3};
+    const Config configs[] = {
+        {"baseline", soc::PackagePolicy::Cshallow, false},
+        {"ondemand", soc::PackagePolicy::Cshallow, true},
+        {"apc-rth", soc::PackagePolicy::Cpc1a, false},
+    };
 
-    TablePrinter t("Power (W) and latency (us): baseline vs ondemand "
-                   "DVFS vs APC race-to-halt");
-    t.header({"QPS", "base W", "DVFS W", "APC W", "base p99",
-              "DVFS p99", "APC p99"});
+    std::FILE *csv = bench::csvSink();
+    if (csv)
+        std::fprintf(csv, "qps,config,pkg_w,dram_w,total_w,"
+                          "avg_us,p95_us,p99_us\n");
+
+    TablePrinter t("Power and latency: baseline vs ondemand DVFS vs "
+                   "APC race-to-halt");
+    t.header({"QPS", "Config", "Total W", "avg (us)", "p95 (us)",
+              "p99 (us)"});
     double dvfs_savings = 0, apc_savings = 0;
-    double dvfs_tail_cost = 0;
+    double dvfs_tail_cost = 0, apc_tail_cost = 0;
     int n = 0;
     for (const double qps : qps_points) {
-        const auto base =
-            runPoint(soc::PackagePolicy::Cshallow, qps, false);
-        const auto dvfs =
-            runPoint(soc::PackagePolicy::Cshallow, qps, true);
-        const auto apc = runPoint(soc::PackagePolicy::Cpc1a, qps, false);
-        t.row({TablePrinter::num(qps / 1000, 0) + "K",
-               TablePrinter::num(base.totalPowerW()),
-               TablePrinter::num(dvfs.totalPowerW()),
-               TablePrinter::num(apc.totalPowerW()),
-               TablePrinter::num(base.p99LatencyUs, 1),
-               TablePrinter::num(dvfs.p99LatencyUs, 1),
-               TablePrinter::num(apc.p99LatencyUs, 1)});
-        dvfs_savings += 1.0 - dvfs.totalPowerW() / base.totalPowerW();
-        apc_savings += 1.0 - apc.totalPowerW() / base.totalPowerW();
-        dvfs_tail_cost +=
-            dvfs.p99LatencyUs / base.p99LatencyUs - 1.0;
-        ++n;
+        const auto wl = workload::WorkloadConfig::memcachedEtc(qps);
+        double base_w = 0, base_p99 = 0;
+        for (const Config &c : configs) {
+            const auto r = bench::runServer(c.policy, wl, 0, 42, c.dvfs);
+            std::vector<std::string> row{
+                TablePrinter::num(qps / 1000, 0) + "K", c.name,
+                TablePrinter::num(r.totalPowerW())};
+            bench::appendCols(row, bench::latencyCols(r));
+            t.row(std::move(row));
+            if (csv)
+                std::fprintf(csv, "%.0f,%s,%.3f,%.3f,%.3f,"
+                                  "%.2f,%.2f,%.2f\n",
+                             qps, c.name, r.pkgPowerW, r.dramPowerW,
+                             r.totalPowerW(), r.avgLatencyUs,
+                             r.p95LatencyUs, r.p99LatencyUs);
+            if (c.policy == soc::PackagePolicy::Cshallow && !c.dvfs) {
+                base_w = r.totalPowerW();
+                base_p99 = r.p99LatencyUs;
+            } else if (c.dvfs) {
+                dvfs_savings += 1.0 - r.totalPowerW() / base_w;
+                dvfs_tail_cost += r.p99LatencyUs / base_p99 - 1.0;
+            } else {
+                apc_savings += 1.0 - r.totalPowerW() / base_w;
+                apc_tail_cost += r.p99LatencyUs / base_p99 - 1.0;
+                ++n;
+            }
+        }
     }
     t.print();
+    if (csv)
+        std::fclose(csv);
 
     std::printf("\nAverages over the sweep: DVFS saves %s with +%s p99; "
-                "APC race-to-halt saves %s with ~0%% p99 cost.\n",
+                "APC race-to-halt saves %s with %s p99 cost.\n",
                 TablePrinter::percent(dvfs_savings / n).c_str(),
                 TablePrinter::percent(dvfs_tail_cost / n).c_str(),
-                TablePrinter::percent(apc_savings / n).c_str());
+                TablePrinter::percent(apc_savings / n).c_str(),
+                TablePrinter::percent(apc_tail_cost / n).c_str());
     std::printf("Paper Sec. 8: \"The new PC1A state of APC ... makes a "
                 "simple race-to-halt approach more attractive compared "
                 "to complex DVFS management techniques.\"\n");

@@ -79,6 +79,22 @@ main()
     double pc6_entry_us = 0, pc6_exit_us = 0;
     cyclePc6(pc6_entry_us, pc6_exit_us);
 
+    std::FILE *csv = bench::csvSink();
+    if (csv) {
+        std::fprintf(csv, "flow,paper_ns,sim_avg_ns,sim_max_ns\n");
+        std::fprintf(csv, "pc1a_entry,18,%.2f,%.2f\n", entry_ns.mean(),
+                     entry_ns.max());
+        std::fprintf(csv, "pc1a_exit,150,%.2f,%.2f\n", exit_ns.mean(),
+                     exit_ns.max());
+        std::fprintf(csv, "pc1a_round_trip,200,%.2f,%.2f\n",
+                     entry_ns.mean() + exit_ns.mean(),
+                     entry_ns.max() + exit_ns.max());
+        std::fprintf(csv, "pc6_round_trip,50000,%.2f,%.2f\n",
+                     (pc6_entry_us + pc6_exit_us) * 1000.0,
+                     (pc6_entry_us + pc6_exit_us) * 1000.0);
+        std::fclose(csv);
+    }
+
     TablePrinter t("PC1A transition latency (ns) over " +
                    std::to_string(entry_ns.count()) + " entries / " +
                    std::to_string(exit_ns.count()) + " exits");

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Power-capping demo: a 4-server rack riding out a breaker trip.
+ *
+ * The rack starts fully provisioned (1.0x oversubscription), then at
+ * t=150 ms a simulated breaker derates the feed to 60% for 100 ms.
+ * The budget allocator re-slices the rack budget every 10 ms; each
+ * server's closed-loop controller enforces its slice with idle
+ * injection — forced idle windows the package sleeps through in PC1A.
+ * The demo prints the allocation timeline around the trip and the
+ * fleet-level cost of riding it out.
+ *
+ *   ./power_cap_demo
+ */
+
+#include <cstdio>
+
+#include "fleet/fleet_sim.h"
+
+using namespace apc;
+
+int
+main()
+{
+    std::printf("Power-cap demo: 4 x SKX servers (C_PC1A) at ~25%% "
+                "load, breaker trip to 60%% feed at t=150 ms\n\n");
+
+    fleet::FleetConfig fc;
+    fc.numServers = 4;
+    fc.policy = soc::PackagePolicy::Cpc1a;
+    fc.workload = workload::WorkloadConfig::memcachedEtc(0);
+    fc.workload.arrivalKind = workload::ArrivalKind::Poisson;
+    fc.traffic.arrivalKind = workload::ArrivalKind::Poisson;
+    fc.traffic.qps = fc.workload.qpsForUtilization(
+        0.25, static_cast<int>(fc.numServers) * 10);
+    fc.sloUs = 2000.0;
+    fc.warmup = 40 * sim::kMs;
+    fc.duration = 300 * sim::kMs;
+
+    // Rack budget: 4 x 62 W nameplate, fully provisioned; the trip
+    // derates it to 60% for 100 ms.
+    fc.budget.enabled = true;
+    fc.budget.oversubscription = 1.0;
+    fc.budget.breaker.enabled = true;
+    fc.budget.breaker.at = 150 * sim::kMs;
+    fc.budget.breaker.duration = 100 * sim::kMs;
+    fc.budget.breaker.factor = 0.60;
+
+    // Idle injection: with APC the forced-idle gates cost nanoseconds
+    // of transition latency, so capping stays tail-friendly.
+    fc.cap.actuator = cap::CapActuator::IdleInject;
+
+    fleet::FleetSim fleet(fc);
+    const auto r = fleet.run();
+
+    std::printf("Allocation timeline (10 ms budget epochs):\n");
+    std::printf("  %8s %10s %10s %10s\n", "t (ms)", "budget W",
+                "demand W", "granted W");
+    for (const auto &rec : r.budgetLog) {
+        if (rec.at < 120 * sim::kMs || rec.at > 270 * sim::kMs)
+            continue;
+        const bool tripped = rec.budgetW < r.rackBudgetW;
+        std::printf("  %8lld %10.1f %10.1f %10.1f%s\n",
+                    static_cast<long long>(rec.at / sim::kMs),
+                    rec.budgetW, rec.demandW, rec.allocatedW,
+                    rec.emergency ? "  << emergency floors"
+                                  : (tripped ? "  << breaker tripped"
+                                             : ""));
+    }
+
+    std::printf("\nFleet over the full window:\n");
+    std::printf("  package power    %7.1f W (rack budget %.1f W, "
+                "utilization %.0f%%)\n",
+                r.pkgPowerW, r.rackBudgetW,
+                100.0 * r.budgetUtilization);
+    std::printf("  p50 / p99        %6.0f / %6.0f us (SLO %.0f us, "
+                "viol %.2f%%)\n",
+                r.p50LatencyUs, r.p99LatencyUs, r.sloUs,
+                100.0 * r.sloViolationFraction);
+    std::printf("  throttle         %5.1f%% of server-time gated, "
+                "perf loss %.1f%% of capacity\n",
+                100.0 * r.capThrottleResidency,
+                100.0 * r.capPerfLoss);
+    std::printf("  cap violations   %llu of %llu settled samples\n",
+                static_cast<unsigned long long>(r.capViolations),
+                static_cast<unsigned long long>(r.capSamples));
+    std::printf("  PC1A residency   %5.1f%% (idle injection puts the "
+                "shed watts into the package C-state)\n",
+                100.0 * r.pc1aResidency());
+    return 0;
+}

@@ -1,0 +1,134 @@
+#include "cap/budget.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace apc::cap {
+
+BudgetAllocator::BudgetAllocator(BudgetConfig cfg, std::size_t num_servers)
+    : cfg_(std::move(cfg)), n_(num_servers)
+{
+    assert(n_ > 0);
+    assert(cfg_.oversubscription >= 1.0);
+    assert(cfg_.weights.empty() || cfg_.weights.size() == n_);
+    nominalBudgetW_ = static_cast<double>(n_) * cfg_.serverNameplateW /
+        cfg_.oversubscription;
+}
+
+bool
+BudgetAllocator::breakerActive(sim::Tick now) const
+{
+    return cfg_.breaker.enabled && now >= cfg_.breaker.at &&
+        now < cfg_.breaker.at + cfg_.breaker.duration;
+}
+
+double
+BudgetAllocator::rackBudgetW(sim::Tick now) const
+{
+    return breakerActive(now) ? nominalBudgetW_ * cfg_.breaker.factor
+                              : nominalBudgetW_;
+}
+
+double
+BudgetAllocator::weight(std::size_t i) const
+{
+    return cfg_.weights.empty() ? 1.0 : std::max(cfg_.weights[i], 0.0);
+}
+
+std::vector<double>
+BudgetAllocator::allocate(sim::Tick now,
+                          const std::vector<double> &demand_w)
+{
+    assert(demand_w.size() == n_);
+    const double budget = rackBudgetW(now);
+
+    EpochRecord rec;
+    rec.at = now;
+    rec.budgetW = budget;
+    rec.demandW = std::accumulate(demand_w.begin(), demand_w.end(), 0.0);
+
+    std::vector<double> alloc(n_, 0.0);
+    const double floor_sum = static_cast<double>(n_) * cfg_.minServerW;
+    if (floor_sum >= budget) {
+        // Emergency: even the guaranteed floors overshoot the rack
+        // budget (breaker trip). Scale floors proportionally so the
+        // aggregate lands exactly on the derated budget.
+        const double scale = floor_sum > 0 ? budget / floor_sum : 0.0;
+        for (std::size_t i = 0; i < n_; ++i)
+            alloc[i] = cfg_.minServerW * scale;
+        rec.emergency = true;
+        ++emergencyEpochs_;
+    } else {
+        // Demand-driven waterfill above the floors: a server wants its
+        // recent draw plus headroom (never less than the floor, never
+        // more than nameplate); spare watts flow by priority weight to
+        // the still-hungry, and any final surplus is spread by weight
+        // as burst headroom.
+        std::vector<double> want(n_);
+        for (std::size_t i = 0; i < n_; ++i) {
+            want[i] = std::clamp(demand_w[i] + cfg_.headroomW,
+                                 cfg_.minServerW, cfg_.serverNameplateW);
+            alloc[i] = cfg_.minServerW;
+        }
+        double remaining = budget - floor_sum;
+        for (std::size_t round = 0; round < n_ && remaining > 1e-9;
+             ++round) {
+            double hungry_weight = 0.0;
+            for (std::size_t i = 0; i < n_; ++i)
+                if (alloc[i] < want[i])
+                    hungry_weight += weight(i);
+            if (hungry_weight <= 0)
+                break;
+            double granted = 0.0;
+            for (std::size_t i = 0; i < n_; ++i) {
+                if (alloc[i] >= want[i])
+                    continue;
+                const double share =
+                    remaining * weight(i) / hungry_weight;
+                const double take = std::min(share, want[i] - alloc[i]);
+                alloc[i] += take;
+                granted += take;
+            }
+            remaining -= granted;
+            if (granted <= 1e-12)
+                break;
+        }
+        if (remaining > 1e-9) {
+            // Everyone satisfied: hand the surplus out by weight as
+            // burst headroom, capped at nameplate.
+            double cap_weight = 0.0;
+            for (std::size_t i = 0; i < n_; ++i)
+                if (alloc[i] < cfg_.serverNameplateW)
+                    cap_weight += weight(i);
+            if (cap_weight > 0)
+                for (std::size_t i = 0; i < n_; ++i) {
+                    const double room =
+                        cfg_.serverNameplateW - alloc[i];
+                    alloc[i] += std::min(
+                        room, remaining * weight(i) / cap_weight);
+                }
+        }
+    }
+
+    rec.allocatedW =
+        std::accumulate(alloc.begin(), alloc.end(), 0.0);
+    log_.push_back(rec);
+    return alloc;
+}
+
+double
+BudgetAllocator::budgetUtilization(sim::Tick from) const
+{
+    double acc = 0.0;
+    std::uint64_t n = 0;
+    for (const EpochRecord &r : log_) {
+        if (r.at < from || r.budgetW <= 0)
+            continue;
+        acc += r.demandW / r.budgetW;
+        ++n;
+    }
+    return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+} // namespace apc::cap

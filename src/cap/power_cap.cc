@@ -1,0 +1,132 @@
+#include "cap/power_cap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace apc::cap {
+
+PowerCapController::PowerCapController(const CapConfig &cfg,
+                                       std::size_t num_pstates,
+                                       std::size_t nominal_pstate)
+    : cfg_(cfg), numPStates_(num_pstates), nominal_(nominal_pstate),
+      limitW_(cfg.limitW),
+      window_(static_cast<std::size_t>(std::max(1, cfg.windowSamples)),
+              0.0)
+{
+    assert(nominal_pstate < num_pstates);
+    actuation_ = actuate(0.0);
+}
+
+double
+PowerCapController::windowPowerW() const
+{
+    if (windowFill_ == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < windowFill_; ++i)
+        acc += window_[i];
+    return acc / static_cast<double>(windowFill_);
+}
+
+void
+PowerCapController::setLimit(double watts, sim::Tick now)
+{
+    if (watts == limitW_)
+        return;
+    const double avg = windowPowerW();
+    const bool tightened = limitW_ <= 0 || watts < limitW_;
+    limitW_ = watts;
+    // Loosening never needs re-settling (compliance only got easier);
+    // without this, a budget allocator retargeting limits every epoch
+    // would keep the violation accounting in its grace period forever.
+    if (tightened)
+        settleUntil_ = now + cfg_.settleTime;
+    if (limitW_ <= 0) {
+        integral_ = 0.0;
+        lastU_ = 0.0;
+        actuation_ = actuate(0.0);
+        return;
+    }
+    // Feed-forward on an emergency cut: seed the integral with the
+    // authority a proportional-only controller would need, so the next
+    // injection period already sheds most of the excess. The integral
+    // term then trims the residual error.
+    if (avg > limitW_ && avg > 0) {
+        const double jump = (avg - limitW_) / avg * 1.5;
+        integral_ = std::clamp(std::max(integral_, jump), 0.0, 1.0);
+        lastU_ = integral_;
+        actuation_ = actuate(lastU_);
+    }
+}
+
+CapActuation
+PowerCapController::actuate(double u) const
+{
+    CapActuation act;
+    if (u <= 0 || limitW_ <= 0)
+        return act;
+    const auto clamp_for = [this](double share) {
+        // share in [0,1] interpolates the ceiling from the nominal
+        // point down to the slowest entry of the table.
+        const double idx = static_cast<double>(nominal_) * (1.0 - share);
+        return static_cast<std::size_t>(std::lround(idx));
+    };
+    switch (cfg_.actuator) {
+      case CapActuator::DvfsOnly:
+        act.pstateClamp = clamp_for(u);
+        break;
+      case CapActuator::IdleInject:
+        act.idleDuty = u * cfg_.maxIdleDuty;
+        break;
+      case CapActuator::Hybrid: {
+        const double s = std::clamp(cfg_.hybridDvfsShare, 0.01, 0.99);
+        if (u <= s) {
+            act.pstateClamp = clamp_for(u / s);
+        } else {
+            act.pstateClamp = 0;
+            act.idleDuty = (u - s) / (1.0 - s) * cfg_.maxIdleDuty;
+        }
+        break;
+      }
+    }
+    return act;
+}
+
+CapActuation
+PowerCapController::onSample(sim::Tick now, double interval_w)
+{
+    window_[windowNext_] = interval_w;
+    windowNext_ = (windowNext_ + 1) % window_.size();
+    windowFill_ = std::min(windowFill_ + 1, window_.size());
+
+    if (limitW_ <= 0) {
+        lastU_ = 0.0;
+        actuation_ = actuate(0.0);
+        return actuation_;
+    }
+
+    const double avg = windowPowerW();
+    const double err = (avg - limitW_) / limitW_;
+    integral_ = std::clamp(integral_ + cfg_.ki * err, 0.0, 1.0);
+    lastU_ = std::clamp(integral_ + cfg_.kp * err, 0.0, 1.0);
+    actuation_ = actuate(lastU_);
+
+    if (settled(now)) {
+        ++samples_;
+        levelSum_.record(lastU_);
+        if (avg > limitW_ * (1.0 + cfg_.violationTolerance))
+            ++violations_;
+    }
+    return actuation_;
+}
+
+void
+PowerCapController::resetStats()
+{
+    samples_ = 0;
+    violations_ = 0;
+    levelSum_.clear();
+}
+
+} // namespace apc::cap

@@ -29,18 +29,20 @@ FleetReport::csvHeader()
            "achieved_qps,pkg_w,dram_w,nic_w,fabric_w,total_w,"
            "j_per_req,avg_us,p50_us,p95_us,p99_us,p999_us,max_us,"
            "slo_us,slo_violation_frac,utilization,pc1a_residency,"
-           "nic_irqs,nic_rx_drops,pkts_per_irq_avg";
+           "nic_irqs,nic_rx_drops,pkts_per_irq_avg,"
+           "rack_budget_w,budget_util,cap_violation_rate,"
+           "cap_throttle_res,cap_perf_loss,emergency_epochs";
 }
 
 std::string
 FleetReport::csvRow() const
 {
-    char buf[640];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "%zu,%llu,%llu,%llu,%llu,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f,"
         "%.6f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.1f,%.6f,%.4f,%.4f,"
-        "%llu,%llu,%.2f",
+        "%llu,%llu,%.2f,%.2f,%.4f,%.6f,%.4f,%.4f,%llu",
         numServers, static_cast<unsigned long long>(dispatched),
         static_cast<unsigned long long>(completed),
         static_cast<unsigned long long>(lostRequests),
@@ -51,7 +53,9 @@ FleetReport::csvRow() const
         sloViolationFraction, avgUtilization, pc1aResidency(),
         static_cast<unsigned long long>(nicInterrupts),
         static_cast<unsigned long long>(nicRxDrops),
-        nicPktsPerIrq.mean());
+        nicPktsPerIrq.mean(), rackBudgetW, budgetUtilization,
+        capViolationRate(), capThrottleResidency, capPerfLoss,
+        static_cast<unsigned long long>(emergencyEpochs));
     return buf;
 }
 
@@ -81,6 +85,9 @@ FleetSim::FleetSim(FleetConfig cfg)
         sc.seed = mixSeed(cfg_.seed, i);
         sc.externalArrivals = true;
         sc.nic = cfg_.nic;
+        sc.cap = cfg_.cap;
+        if (cfg_.budget.enabled)
+            sc.cap.enabled = true; // the allocator needs enforcement
         servers_.push_back(
             std::make_unique<server::ServerSim>(std::move(sc)));
         auto &buf = completions_[i];
@@ -101,6 +108,17 @@ FleetSim::FleetSim(FleetConfig cfg)
     if (cfg_.fabric.enabled)
         fabric_ = std::make_unique<net::Fabric>(cfg_.fabric,
                                                 cfg_.numServers);
+    if (cfg_.budget.enabled) {
+        allocator_ = std::make_unique<cap::BudgetAllocator>(
+            cfg_.budget, cfg_.numServers);
+        // Initial allocation with zero demand: floors plus an even
+        // (weighted) split of the surplus.
+        const auto initial = allocator_->allocate(
+            0, std::vector<double>(cfg_.numServers, 0.0));
+        for (std::size_t i = 0; i < servers_.size(); ++i)
+            servers_[i]->setPowerLimit(initial[i]);
+        nextAllocAt_ = cfg_.budgetEpoch;
+    }
 
     std::uint32_t budget = cfg_.packBudget;
     if (budget == 0) {
@@ -142,6 +160,25 @@ FleetSim::routeReplica(sim::Tick at, sim::Tick service, std::size_t srv,
     ++lbView_[srv];
     ++replicasDispatched_;
     return sendReplica(at, service, srv, id);
+}
+
+void
+FleetSim::allocateBudgets(sim::Tick now)
+{
+    // Demand = each server's sliding-window draw, read single-threaded
+    // at the epoch boundary (every server is quiescent at `now`).
+    std::vector<double> demand(servers_.size(), 0.0);
+    for (std::size_t i = 0; i < servers_.size(); ++i)
+        demand[i] = servers_[i]->capPowerW();
+    const auto alloc = allocator_->allocate(now, demand);
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+        const double cur = servers_[i]->powerLimitW();
+        // Deadband damps allocation chatter so the per-server
+        // controllers can settle; real cuts (breaker trips, big demand
+        // shifts) exceed it by construction.
+        if (std::abs(alloc[i] - cur) > cfg_.budgetDeadbandW)
+            servers_[i]->setPowerLimit(alloc[i]);
+    }
 }
 
 void
@@ -327,6 +364,10 @@ FleetSim::run()
             measuring_ = true;
             measureStart_ = t;
         }
+        if (allocator_ && t >= nextAllocAt_) {
+            allocateBudgets(t);
+            nextAllocAt_ = t + cfg_.budgetEpoch;
+        }
         // Epoch boundaries align with the start of measurement so RAPL
         // windows begin at a quiescent, single-threaded instant.
         const sim::Tick limit = measuring_ ? end : measure_at;
@@ -382,10 +423,15 @@ FleetSim::aggregate()
 
     rep.perServer = perServerResults_;
     const double n = static_cast<double>(servers_.size());
+    rep.capEnabled = cfg_.cap.enabled || cfg_.budget.enabled;
     for (const auto &r : perServerResults_) {
         rep.pkgPowerW += r.pkgPowerW;
         rep.dramPowerW += r.dramPowerW;
         rep.nicPowerW += r.nicPowerW;
+        rep.capSamples += r.capSamples;
+        rep.capViolations += r.capViolations;
+        rep.capThrottleResidency += r.capThrottleResidency / n;
+        rep.capPerfLoss += r.capPerfLossFraction() / n;
         rep.avgUtilization += r.utilization / n;
         for (std::size_t s = 0; s < soc::kNumPkgStates; ++s)
             rep.pkgResidency[s] += r.pkgResidency[s] / n;
@@ -400,6 +446,14 @@ FleetSim::aggregate()
     if (fabric_) {
         rep.fabricStats = fabric_->stats();
         rep.fabricPowerW = fabricPowerW_;
+    }
+    if (allocator_) {
+        rep.rackBudgetW = allocator_->nominalRackBudgetW();
+        rep.oversubscription = cfg_.budget.oversubscription;
+        rep.budgetUtilization =
+            allocator_->budgetUtilization(measureStart_);
+        rep.emergencyEpochs = allocator_->emergencyEpochs();
+        rep.budgetLog = allocator_->log();
     }
     rep.joulesPerRequest = completed_ > 0
         ? rep.totalPowerW() * window_s / static_cast<double>(completed_)

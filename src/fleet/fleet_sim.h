@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cap/budget.h"
 #include "fleet/dispatch.h"
 #include "fleet/thread_pool.h"
 #include "fleet/traffic.h"
@@ -76,6 +77,28 @@ struct FleetConfig
 
     /** Latency SLO for violation accounting. */
     double sloUs = 1000.0;
+
+    /**
+     * Per-server power-capping template (cap.limitW is the standalone
+     * per-server limit; under budget allocation the allocator
+     * retargets it every budget epoch).
+     */
+    cap::CapConfig cap;
+
+    /**
+     * Fleet-level budget allocation (rack -> server) with
+     * oversubscription and breaker-trip emergencies. Enabling it
+     * forces per-server capping on.
+     */
+    cap::BudgetConfig budget;
+
+    /** Allocation cadence (coarser than the fleet epoch so per-server
+     *  control loops can settle between retargets). */
+    sim::Tick budgetEpoch = 10 * sim::kMs;
+
+    /** Ignore allocation deltas smaller than this (keeps limits stable
+     *  under demand noise so violation accounting can settle). */
+    double budgetDeadbandW = 1.0;
 
     sim::Tick warmup = 20 * sim::kMs;
     sim::Tick duration = 300 * sim::kMs;
@@ -148,6 +171,33 @@ struct FleetReport
      *  dropped, exactly). */
     net::FabricStats fabricStats;
 
+    // Power capping / budget accounting (zero unless capping ran).
+    bool capEnabled = false;
+    /** Rack budget before breaker derating (budget allocation only). */
+    double rackBudgetW = 0.0;
+    double oversubscription = 0.0;
+    /** Mean fleet demand / rack budget over measured epochs. */
+    double budgetUtilization = 0.0;
+    /** Summed settled control samples and violations across servers. */
+    std::uint64_t capSamples = 0;
+    std::uint64_t capViolations = 0;
+    double
+    capViolationRate() const
+    {
+        return capSamples
+            ? static_cast<double>(capViolations) /
+                static_cast<double>(capSamples)
+            : 0.0;
+    }
+    /** Fleet-average idle-injection gate residency. */
+    double capThrottleResidency = 0.0;
+    /** Fleet-average compute capacity removed by the actuators. */
+    double capPerfLoss = 0.0;
+    /** Allocation epochs where floors had to be emergency-scaled. */
+    std::uint64_t emergencyEpochs = 0;
+    /** Per-epoch budget/demand/allocation timeline (budget runs). */
+    std::vector<cap::BudgetAllocator::EpochRecord> budgetLog;
+
     // Fleet-average core utilization and package residency.
     double avgUtilization = 0.0;
     std::array<double, soc::kNumPkgStates> pkgResidency{};
@@ -218,6 +268,8 @@ class FleetSim
 
     using FlightMap = std::unordered_map<std::uint64_t, Flight>;
 
+    /** Rack->server budget reallocation at a budget-epoch boundary. */
+    void allocateBudgets(sim::Tick now);
     void dispatchEpoch(sim::Tick from, sim::Tick to);
     /** @return false if the replica was lost in the fabric. */
     bool routeReplica(sim::Tick at, sim::Tick service, std::size_t srv,
@@ -239,6 +291,8 @@ class FleetSim
     std::unique_ptr<TrafficSource> traffic_;
     std::unique_ptr<Dispatcher> dispatcher_;
     std::unique_ptr<net::Fabric> fabric_;
+    std::unique_ptr<cap::BudgetAllocator> allocator_;
+    sim::Tick nextAllocAt_ = 0;
     ThreadPool pool_;
 
     /** LB view: epoch-boundary outstanding + own in-epoch dispatches. */

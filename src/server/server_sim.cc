@@ -23,6 +23,9 @@ ServerSim::ServerSim(ServerConfig cfg)
     arrivals_ = cfg_.workload.makeArrivals();
     service_ = cfg_.workload.makeService();
     ctx_.resize(soc_->numCores());
+    if (cfg_.cap.enabled)
+        cap_ = std::make_unique<cap::PowerCapController>(
+            cfg_.cap, pstates_.size(), pstates_.nominalIndex());
     if (cfg_.nic.enabled) {
         nic_ = std::make_unique<net::Nic>(sim_, soc_->meter(),
                                           soc_->nic(), cfg_.nic);
@@ -131,7 +134,10 @@ void
 ServerSim::pump(std::size_t idx)
 {
     auto &ctx = ctx_[idx];
-    if (ctx.processing || ctx.queue.empty())
+    // A closed injection gate holds queued work back so the cores
+    // drain and the package can drop into PC1A; pumpAll() restarts
+    // admission when the gate opens.
+    if (ctx.processing || ctx.queue.empty() || capGated_)
         return;
     ctx.processing = true;
     const bool was_active = soc_->core(idx).isActive();
@@ -187,7 +193,7 @@ ServerSim::serveFront(std::size_t idx, bool was_active)
         scheduleSoftirq(idx);
         auto &c = ctx_[idx];
         c.processing = false;
-        if (!c.queue.empty())
+        if (!c.queue.empty() && !capGated_)
             pump(idx);
         else
             soc_->core(idx).release();
@@ -249,12 +255,14 @@ ServerSim::runKernelTask(std::size_t idx, sim::Tick work)
     auto &ctx = ctx_[idx];
     if (ctx.processing)
         return; // absorbed into ongoing work on that core
+    if (capGated_)
+        return; // forced idle outranks housekeeping (play_idle)
     ctx.processing = true;
     soc_->core(idx).requestWake([this, idx, work] {
         sim_.after(work, [this, idx] {
             auto &c = ctx_[idx];
             c.processing = false;
-            if (!c.queue.empty())
+            if (!c.queue.empty() && !capGated_)
                 pump(idx);
             else
                 soc_->core(idx).release();
@@ -293,11 +301,102 @@ ServerSim::scheduleDvfsSample()
             ctx.lastCc0Time = cc0;
             ctx.pstate = cpu::dvfsNextPState(pstates_, cfg_.dvfs,
                                              ctx.pstate, util);
-            ctx.slowdown = pstates_.slowdown(ctx.pstate);
-            core.setActivePower(pstates_.activePowerWatts(
-                core.config().cstates[0].powerWatts, ctx.pstate));
+            applyCorePower(i);
         }
     });
+}
+
+void
+ServerSim::applyCorePower(std::size_t idx)
+{
+    auto &ctx = ctx_[idx];
+    auto &core = soc_->core(idx);
+    // The cap clamp caps the governor's choice, never raises it.
+    const std::size_t eff = std::min(ctx.pstate, capClamp_);
+    ctx.slowdown = pstates_.slowdown(eff);
+    core.setActivePower(pstates_.activePowerWatts(
+        core.config().cstates[0].powerWatts, eff));
+}
+
+void
+ServerSim::applyCapActuation(const cap::CapActuation &act)
+{
+    capDuty_ = act.idleDuty;
+    if (act.pstateClamp == capClamp_)
+        return;
+    const sim::Tick now = sim_.now();
+    clampLossIntegral_ +=
+        static_cast<double>(now - clampLossSince_) * clampLossRate_;
+    clampLossSince_ = now;
+    capClamp_ = act.pstateClamp;
+    const std::size_t eff = std::min(capClamp_, pstates_.nominalIndex());
+    clampLossRate_ =
+        1.0 - pstates_.point(eff).freqGhz / pstates_.nominal().freqGhz;
+    for (std::size_t i = 0; i < soc_->numCores(); ++i)
+        applyCorePower(i);
+}
+
+void
+ServerSim::scheduleCapSample()
+{
+    sim_.after(cfg_.cap.sampleInterval, [this] {
+        scheduleCapSample();
+        const auto s = soc_->rapl().readCounter(power::Plane::Package);
+        const double w = soc_->rapl().averagePower(capPrev_, s);
+        capPrev_ = s;
+        applyCapActuation(cap_->onSample(sim_.now(), w));
+    });
+}
+
+void
+ServerSim::scheduleCapInject()
+{
+    sim_.after(cfg_.cap.injectPeriod, [this] {
+        scheduleCapInject();
+        if (capDuty_ <= 0 || capGated_)
+            return;
+        capGated_ = true;
+        gateStart_ = sim_.now();
+        const auto gate = std::min(
+            cfg_.cap.injectPeriod,
+            std::max<sim::Tick>(
+                1, static_cast<sim::Tick>(
+                       capDuty_ *
+                       static_cast<double>(cfg_.cap.injectPeriod))));
+        sim_.after(gate, [this] {
+            capGated_ = false;
+            gatedTime_ += sim_.now() - gateStart_;
+            pumpAll();
+        });
+    });
+}
+
+void
+ServerSim::pumpAll()
+{
+    for (std::size_t i = 0; i < soc_->numCores(); ++i)
+        pump(i);
+}
+
+void
+ServerSim::setPowerLimit(double watts)
+{
+    if (!cap_)
+        return;
+    cap_->setLimit(watts, sim_.now());
+    applyCapActuation(cap_->actuation());
+}
+
+double
+ServerSim::powerLimitW() const
+{
+    return cap_ ? cap_->limitW() : 0.0;
+}
+
+double
+ServerSim::capPowerW() const
+{
+    return cap_ ? cap_->windowPowerW() : 0.0;
 }
 
 void
@@ -318,6 +417,13 @@ ServerSim::start()
     scheduleNextArrival();
     scheduleTimerTick();
     scheduleDvfsSample();
+    if (cap_) {
+        capPrev_ = soc_->rapl().readCounter(power::Plane::Package);
+        clampLossSince_ = sim_.now();
+        scheduleCapSample();
+        if (cfg_.cap.actuator != cap::CapActuator::DvfsOnly)
+            scheduleCapInject();
+    }
 }
 
 void
@@ -335,6 +441,14 @@ ServerSim::beginMeasurement()
         nic_->resetStats();
         nicWakeUs_.clear();
         nicEnergy0_ = soc_->meter().planeEnergy(power::Plane::Network);
+    }
+    if (cap_) {
+        cap_->resetStats();
+        gatedTime_ = 0;
+        if (capGated_)
+            gateStart_ = sim_.now();
+        clampLossIntegral_ = 0.0;
+        clampLossSince_ = sim_.now();
     }
     pkg0_ = soc_->rapl().readCounter(power::Plane::Package);
     dram0_ = soc_->rapl().readCounter(power::Plane::Dram);
@@ -416,6 +530,26 @@ ServerSim::collect()
         res.remotePc1aResidency = remoteSoc_->pkgResidency().residency(
             static_cast<std::size_t>(soc::PkgState::Pc1a), now);
         res.remoteWakes = remoteSoc_->link(4).shallowWakes();
+    }
+    if (cap_) {
+        res.capLimitW = cap_->limitW();
+        res.capWindowPowerW = cap_->windowPowerW();
+        res.capSamples = cap_->samples();
+        res.capViolations = cap_->violations();
+        res.capLevelAvg = cap_->levelSummary().mean();
+        const sim::Tick gated =
+            gatedTime_ + (capGated_ ? now - gateStart_ : 0);
+        const double window_ticks =
+            static_cast<double>(now - measureBegan_);
+        if (window_ticks > 0) {
+            res.capThrottleResidency =
+                static_cast<double>(gated) / window_ticks;
+            res.capDvfsCapacityLoss =
+                (clampLossIntegral_ +
+                 static_cast<double>(now - clampLossSince_) *
+                     clampLossRate_) /
+                window_ticks;
+        }
     }
     res.pc6Entries = soc_->gpmu().pc6Entries();
     res.pc6EntryUsAvg = soc_->gpmu().entryLatencyUs().mean();

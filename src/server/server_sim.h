@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "cap/power_cap.h"
 #include "cpu/pstate.h"
 #include "net/nic.h"
 #include "power/rapl.h"
@@ -84,6 +85,16 @@ struct ServerConfig
      * the workload's gap-based coalesceWindow heuristic.
      */
     net::NicConfig nic{};
+
+    /**
+     * Closed-loop power capping (RAPL limit enforcement). When enabled
+     * the server samples its package RAPL counters on the configured
+     * cadence and throttles itself — P-state clamp, forced-idle
+     * injection, or both — to hold cap.limitW. The limit can be
+     * retargeted at runtime via setPowerLimit() (fleet budget
+     * allocation, breaker trips).
+     */
+    cap::CapConfig cap{};
 };
 
 /** Aggregated metrics from one run. */
@@ -156,6 +167,32 @@ struct ServerResult
     stats::Summary nicRingWaitUs;
     /** NIC interrupt -> fabric-ready (package exit included), µs. */
     stats::Summary nicWakeUs;
+
+    // Power capping (zero unless cfg.cap.enabled).
+    /** Limit in force when the window closed (0 = uncapped). */
+    double capLimitW = 0.0;
+    /** Controller's sliding-window package power at collection. */
+    double capWindowPowerW = 0.0;
+    /** Settled control samples / ones exceeding limit*(1+tol). */
+    std::uint64_t capSamples = 0;
+    std::uint64_t capViolations = 0;
+    /** Mean control authority u over settled samples. */
+    double capLevelAvg = 0.0;
+    /** Fraction of the window spent admission-gated (idle injection). */
+    double capThrottleResidency = 0.0;
+    /** Time-weighted compute capacity removed by the P-state clamp:
+     *  mean of (1 - f_clamp / f_nominal) over the window. */
+    double capDvfsCapacityLoss = 0.0;
+
+    /** Aggregate capping performance loss: fraction of the window's
+     *  nominal compute capacity the actuators removed. */
+    double
+    capPerfLossFraction() const
+    {
+        const double loss = capThrottleResidency +
+            (1.0 - capThrottleResidency) * capDvfsCapacityLoss;
+        return loss < 1.0 ? loss : 1.0;
+    }
 
     /** Copy of the idle-period length distribution (µs). */
     stats::Histogram idlePeriodsUs{0.01, 1e7, 32};
@@ -242,6 +279,24 @@ class ServerSim
     /** The NIC device; null unless cfg.nic.enabled. */
     net::Nic *nicDevice() { return nic_.get(); }
 
+    /**
+     * Retarget the power cap at the current simulated time (no-op
+     * without cfg.cap.enabled). Safe to call from a fleet between
+     * epochs: the feed-forward actuation applies immediately in this
+     * server's event context.
+     */
+    void setPowerLimit(double watts);
+
+    /** Limit currently enforced; 0 when uncapped or capping is off. */
+    double powerLimitW() const;
+
+    /** Controller's sliding-window package power (the fleet budget
+     *  allocator's demand signal); 0 without capping. */
+    double capPowerW() const;
+
+    /** The cap controller; null unless cfg.cap.enabled. */
+    cap::PowerCapController *capController() { return cap_.get(); }
+
     /** Requests handed to the server (injected or internal arrivals). */
     std::uint64_t accepted() const { return accepted_; }
 
@@ -299,6 +354,17 @@ class ServerSim
     /** Periodic ondemand governor evaluation (when DVFS is enabled). */
     void scheduleDvfsSample();
     void recordLatency(sim::Tick end_to_end);
+    // --- power capping ---
+    /** Periodic RAPL sampling feeding the cap controller. */
+    void scheduleCapSample();
+    /** Periodic idle-injection cycle (gate for duty * period). */
+    void scheduleCapInject();
+    /** Push the controller's actuation into clamp/gate state. */
+    void applyCapActuation(const cap::CapActuation &act);
+    /** Apply min(governor P-state, cap clamp) to core @p idx. */
+    void applyCorePower(std::size_t idx);
+    /** Restart admission on every core after the gate opens. */
+    void pumpAll();
 
     ServerConfig cfg_;
     sim::Simulation sim_;
@@ -324,6 +390,17 @@ class ServerSim
     stats::Summary latencyUs_;
     stats::Histogram latencyHistUs_{0.1, 1e7, 64};
     cpu::PStateTable pstates_ = cpu::PStateTable::skxDefaults();
+    // Power capping state.
+    std::unique_ptr<cap::PowerCapController> cap_;
+    power::RaplSample capPrev_;      ///< last cap-loop RAPL sample
+    std::size_t capClamp_ = SIZE_MAX; ///< max P-state index allowed
+    double capDuty_ = 0.0;           ///< idle-injection duty in force
+    bool capGated_ = false;          ///< admission gate closed
+    sim::Tick gateStart_ = 0;
+    sim::Tick gatedTime_ = 0;        ///< closed-gate time this window
+    double clampLossRate_ = 0.0;     ///< 1 - f_clamp/f_nom while clamped
+    double clampLossIntegral_ = 0.0; ///< ticks * loss rate accumulator
+    sim::Tick clampLossSince_ = 0;
 };
 
 } // namespace apc::server

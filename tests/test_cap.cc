@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Unit tests for the power capping & oversubscription subsystem (cap/).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cap/budget.h"
+#include "cap/power_cap.h"
+#include "fleet/fleet_sim.h"
+#include "server/server_sim.h"
+
+namespace apc::cap {
+namespace {
+
+using sim::kMs;
+using sim::kUs;
+
+// ----------------------------------------------------- controller (unit)
+
+CapConfig
+testCfg(CapActuator act, double limit)
+{
+    CapConfig c;
+    c.enabled = true;
+    c.actuator = act;
+    c.limitW = limit;
+    return c;
+}
+
+TEST(PowerCapController, UncappedNeverActuates)
+{
+    PowerCapController pc(testCfg(CapActuator::Hybrid, 0.0), 6, 4);
+    for (int i = 0; i < 50; ++i) {
+        const auto act = pc.onSample(i * 500 * kUs, 100.0);
+        EXPECT_EQ(act.pstateClamp, SIZE_MAX);
+        EXPECT_DOUBLE_EQ(act.idleDuty, 0.0);
+    }
+    EXPECT_EQ(pc.violations(), 0u);
+}
+
+TEST(PowerCapController, IntegralWindsUpToFullAuthority)
+{
+    // Power pinned far above the limit: authority must saturate, and
+    // each actuator must reach its strongest setting.
+    PowerCapController dvfs(testCfg(CapActuator::DvfsOnly, 20.0), 6, 4);
+    PowerCapController idle(testCfg(CapActuator::IdleInject, 20.0), 6, 4);
+    CapActuation ad, ai;
+    for (int i = 0; i < 100; ++i) {
+        const sim::Tick now = i * 500 * kUs;
+        ad = dvfs.onSample(now, 60.0);
+        ai = idle.onSample(now, 60.0);
+    }
+    EXPECT_EQ(ad.pstateClamp, 0u); // slowest table entry
+    EXPECT_DOUBLE_EQ(ad.idleDuty, 0.0);
+    EXPECT_EQ(ai.pstateClamp, SIZE_MAX);
+    EXPECT_NEAR(ai.idleDuty, idle.limitW() > 0 ? 0.85 : 0.0, 1e-9);
+    EXPECT_DOUBLE_EQ(dvfs.level(), 1.0);
+}
+
+TEST(PowerCapController, HybridUsesDvfsFirstThenInjects)
+{
+    auto cfg = testCfg(CapActuator::Hybrid, 40.0);
+    cfg.hybridDvfsShare = 0.5;
+    PowerCapController pc(cfg, 6, 4);
+    // One mild sample: small authority => clamp moves, no injection.
+    auto act = pc.onSample(0, 44.0);
+    EXPECT_LT(act.pstateClamp, 5u);
+    EXPECT_DOUBLE_EQ(act.idleDuty, 0.0);
+    // Sustained overshoot: clamp bottoms out, injection ramps.
+    for (int i = 1; i < 100; ++i)
+        act = pc.onSample(i * 500 * kUs, 60.0);
+    EXPECT_EQ(act.pstateClamp, 0u);
+    EXPECT_GT(act.idleDuty, 0.5);
+}
+
+TEST(PowerCapController, BacksOffWhenUnderLimit)
+{
+    PowerCapController pc(testCfg(CapActuator::IdleInject, 40.0), 6, 4);
+    for (int i = 0; i < 50; ++i)
+        pc.onSample(i * 500 * kUs, 60.0);
+    EXPECT_GT(pc.level(), 0.9);
+    for (int i = 50; i < 200; ++i)
+        pc.onSample(i * 500 * kUs, 20.0);
+    EXPECT_DOUBLE_EQ(pc.level(), 0.0);
+    EXPECT_DOUBLE_EQ(pc.actuation().idleDuty, 0.0);
+}
+
+TEST(PowerCapController, EmergencyCutFeedsForward)
+{
+    // Converged at a loose limit; an emergency retarget far below the
+    // current draw must raise authority immediately (before the next
+    // sample), not after the integral winds up.
+    PowerCapController pc(testCfg(CapActuator::IdleInject, 100.0), 6, 4);
+    for (int i = 0; i < 20; ++i)
+        pc.onSample(i * 500 * kUs, 50.0);
+    EXPECT_DOUBLE_EQ(pc.level(), 0.0);
+    pc.setLimit(30.0, 20 * 500 * kUs);
+    EXPECT_GT(pc.actuation().idleDuty, 0.3);
+}
+
+TEST(PowerCapController, ViolationAccountingRespectsSettle)
+{
+    auto cfg = testCfg(CapActuator::IdleInject, 40.0);
+    cfg.settleTime = 10 * kMs;
+    PowerCapController pc(cfg, 6, 4);
+    pc.setLimit(35.0, 0); // tighten at t=0 => grace until 10 ms
+    for (int i = 0; i <= 10; ++i)
+        pc.onSample(i * 1 * kMs, 60.0); // only t=10ms is settled
+    EXPECT_EQ(pc.samples(), 1u); // only the t=10ms sample settled
+    EXPECT_EQ(pc.violations(), 1u);
+    // Loosening must not restart the grace period.
+    pc.setLimit(36.0, 11 * kMs);
+    pc.onSample(12 * kMs, 60.0);
+    EXPECT_EQ(pc.samples(), 2u);
+}
+
+// ------------------------------------------------------ allocator (unit)
+
+BudgetConfig
+rackCfg(double oversub, std::size_t n)
+{
+    BudgetConfig b;
+    b.enabled = true;
+    b.serverNameplateW = 60.0;
+    b.minServerW = 20.0;
+    b.headroomW = 2.0;
+    b.oversubscription = oversub;
+    (void)n;
+    return b;
+}
+
+TEST(BudgetAllocator, AllocationsRespectBudgetFloorsAndNameplate)
+{
+    BudgetAllocator a(rackCfg(1.5, 4), 4);
+    EXPECT_DOUBLE_EQ(a.nominalRackBudgetW(), 4 * 60.0 / 1.5);
+    const auto alloc = a.allocate(0, {50.0, 30.0, 10.0, 0.0});
+    double sum = 0.0;
+    for (std::size_t i = 0; i < alloc.size(); ++i) {
+        EXPECT_GE(alloc[i], 20.0 - 1e-9) << i;
+        EXPECT_LE(alloc[i], 60.0 + 1e-9) << i;
+        sum += alloc[i];
+    }
+    EXPECT_LE(sum, a.nominalRackBudgetW() + 1e-6);
+    // Demand-driven: the busy server wins more than the idle one.
+    EXPECT_GT(alloc[0], alloc[2]);
+    EXPECT_GT(alloc[0], alloc[3]);
+}
+
+TEST(BudgetAllocator, SurplusRedistributedToTheHungry)
+{
+    // Two idle servers free their share; the two busy ones split it.
+    BudgetAllocator a(rackCfg(1.2, 4), 4);
+    const double budget = a.nominalRackBudgetW(); // 200 W
+    const auto alloc = a.allocate(0, {58.0, 58.0, 0.0, 0.0});
+    // Idle servers sit at floor + headroom-ish; busy ones take the rest
+    // up to their want (58 + 2 headroom = 60 = nameplate).
+    EXPECT_NEAR(alloc[0], 60.0, 1.0);
+    EXPECT_NEAR(alloc[1], 60.0, 1.0);
+    EXPECT_LT(alloc[2], 45.0);
+    EXPECT_LE(alloc[0] + alloc[1] + alloc[2] + alloc[3], budget + 1e-6);
+}
+
+TEST(BudgetAllocator, PriorityWeightsSkewTheSplit)
+{
+    auto cfg = rackCfg(1.5, 2);
+    cfg.weights = {3.0, 1.0};
+    BudgetAllocator a(cfg, 2);
+    // Both want far more than the budget can give.
+    const auto alloc = a.allocate(0, {60.0, 60.0});
+    EXPECT_GT(alloc[0], alloc[1]);
+    // Above the shared floor, the grant follows the 3:1 weights.
+    EXPECT_NEAR((alloc[0] - 20.0) / (alloc[1] - 20.0), 3.0, 0.05);
+}
+
+TEST(BudgetAllocator, EmergencyScalesFloorsUnderBreakerTrip)
+{
+    auto cfg = rackCfg(1.0, 4);
+    cfg.breaker.enabled = true;
+    cfg.breaker.at = 100 * kMs;
+    cfg.breaker.duration = 50 * kMs;
+    cfg.breaker.factor = 0.25; // 60 W rack: below the 80 W floor sum
+    BudgetAllocator a(cfg, 4);
+
+    EXPECT_FALSE(a.breakerActive(99 * kMs));
+    EXPECT_TRUE(a.breakerActive(100 * kMs));
+    EXPECT_FALSE(a.breakerActive(150 * kMs));
+
+    const auto before = a.allocate(99 * kMs, {40, 40, 40, 40});
+    const auto tripped = a.allocate(100 * kMs, {40, 40, 40, 40});
+    const auto after = a.allocate(150 * kMs, {40, 40, 40, 40});
+
+    double sum = 0.0;
+    for (double w : tripped)
+        sum += w;
+    EXPECT_NEAR(sum, 240.0 * 0.25, 1e-6); // exactly the derated budget
+    EXPECT_LT(tripped[0], cfg.minServerW);
+    EXPECT_EQ(a.emergencyEpochs(), 1u);
+    EXPECT_GT(before[0], tripped[0]);
+    EXPECT_GT(after[0], tripped[0]);
+}
+
+TEST(BudgetAllocator, UtilizationAveragesDemandOverBudget)
+{
+    BudgetAllocator a(rackCfg(1.0, 2), 2); // 120 W rack
+    a.allocate(0, {30.0, 30.0});           // 0.5
+    a.allocate(10 * kMs, {60.0, 60.0});    // 1.0
+    EXPECT_NEAR(a.budgetUtilization(), 0.75, 1e-9);
+    EXPECT_NEAR(a.budgetUtilization(5 * kMs), 1.0, 1e-9);
+    EXPECT_EQ(a.epochs(), 2u);
+}
+
+// ------------------------------------------------- server-in-the-loop
+
+server::ServerConfig
+cappedServer(CapActuator act, double limit, double util)
+{
+    server::ServerConfig cfg;
+    cfg.policy = soc::PackagePolicy::Cpc1a;
+    cfg.workload = workload::WorkloadConfig::memcachedEtc(0);
+    cfg.workload.arrivalKind = workload::ArrivalKind::Poisson;
+    cfg.workload.qps = cfg.workload.qpsForUtilization(util, 10);
+    cfg.warmup = 60 * kMs; // covers the controller's settle time
+    cfg.duration = 250 * kMs;
+    cfg.cap.enabled = true;
+    cfg.cap.limitW = limit;
+    cfg.cap.actuator = act;
+    return cfg;
+}
+
+TEST(ServerCapping, ConvergesToLimitWithoutViolations)
+{
+    // Steady 30% load draws ~49.5 W uncapped; both injection-capable
+    // actuators must hold a 42 W limit within ±5% and, once settled,
+    // never let the sliding window exceed the violation tolerance.
+    for (const CapActuator act :
+         {CapActuator::IdleInject, CapActuator::Hybrid}) {
+        server::ServerSim s(cappedServer(act, 42.0, 0.30));
+        const auto r = s.run();
+        EXPECT_GT(r.capSamples, 100u) << capActuatorName(act);
+        EXPECT_EQ(r.capViolations, 0u) << capActuatorName(act);
+        EXPECT_NEAR(r.pkgPowerW, 42.0, 42.0 * 0.05)
+            << capActuatorName(act);
+        EXPECT_NEAR(r.capWindowPowerW, 42.0, 42.0 * 0.10)
+            << capActuatorName(act);
+        EXPECT_GT(r.capThrottleResidency, 0.05) << capActuatorName(act);
+        EXPECT_DOUBLE_EQ(r.capLimitW, 42.0);
+    }
+}
+
+TEST(ServerCapping, DvfsOnlyHoldsAnAchievableLimit)
+{
+    // 45.5 W is within the clamp's authority at 30% load.
+    server::ServerSim s(
+        cappedServer(CapActuator::DvfsOnly, 45.5, 0.30));
+    const auto r = s.run();
+    EXPECT_GT(r.capSamples, 100u);
+    EXPECT_EQ(r.capViolations, 0u);
+    EXPECT_NEAR(r.pkgPowerW, 45.5, 45.5 * 0.05);
+    EXPECT_GT(r.capDvfsCapacityLoss, 0.1);
+    EXPECT_DOUBLE_EQ(r.capThrottleResidency, 0.0); // never gates
+}
+
+TEST(ServerCapping, IdleInjectionForcesPackageIdle)
+{
+    // The actuator's mechanism: forced idle windows push the package
+    // into PC1A far beyond what the workload's natural gaps give.
+    server::ServerSim capped(
+        cappedServer(CapActuator::IdleInject, 42.0, 0.30));
+    server::ServerSim free_(
+        cappedServer(CapActuator::IdleInject, 0.0, 0.30));
+    const auto rc = capped.run();
+    const auto rf = free_.run();
+    EXPECT_GT(rc.pc1aResidency(), rf.pc1aResidency() + 0.15);
+    EXPECT_LT(rc.pkgPowerW, rf.pkgPowerW - 5.0);
+}
+
+TEST(ServerCapping, UncappedLimitIsMonitorOnly)
+{
+    server::ServerSim s(
+        cappedServer(CapActuator::Hybrid, 0.0, 0.20));
+    const auto r = s.run();
+    EXPECT_DOUBLE_EQ(r.capThrottleResidency, 0.0);
+    EXPECT_DOUBLE_EQ(r.capDvfsCapacityLoss, 0.0);
+    EXPECT_EQ(r.capViolations, 0u);
+    EXPECT_GT(r.capWindowPowerW, 20.0); // still metering
+}
+
+// ------------------------------------------------------ fleet-in-the-loop
+
+fleet::FleetConfig
+cappedFleet(double oversub, CapActuator act, double util,
+            std::uint64_t seed = 42)
+{
+    fleet::FleetConfig fc;
+    fc.numServers = 4;
+    fc.policy = soc::PackagePolicy::Cpc1a;
+    fc.workload = workload::WorkloadConfig::memcachedEtc(0);
+    fc.workload.arrivalKind = workload::ArrivalKind::Poisson;
+    fc.traffic.arrivalKind = workload::ArrivalKind::Poisson;
+    fc.traffic.qps = fc.workload.qpsForUtilization(
+        util, static_cast<int>(fc.numServers) *
+            soc::SkxConfig::forPolicy(fc.policy).numCores);
+    fc.sloUs = 10000.0;
+    fc.warmup = 40 * kMs;
+    fc.duration = 200 * kMs;
+    fc.seed = seed;
+    fc.budget.enabled = true;
+    fc.budget.oversubscription = oversub;
+    fc.cap.actuator = act;
+    return fc;
+}
+
+TEST(FleetCapping, ThreadCountDoesNotChangeResults)
+{
+    // The allocator runs single-threaded between epochs and every cap
+    // loop lives inside its server's own event queue, so capped fleet
+    // runs must stay bit-identical across worker threads.
+    fleet::FleetReport ref;
+    bool first = true;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        auto fc = cappedFleet(1.5, CapActuator::Hybrid, 0.25, 11);
+        fc.threads = threads;
+        const auto r = fleet::FleetSim(fc).run();
+        ASSERT_GT(r.completed, 500u);
+        if (first) {
+            ref = r;
+            first = false;
+            continue;
+        }
+        EXPECT_EQ(r.dispatched, ref.dispatched) << threads;
+        EXPECT_EQ(r.completed, ref.completed) << threads;
+        EXPECT_EQ(r.capViolations, ref.capViolations) << threads;
+        EXPECT_EQ(r.capSamples, ref.capSamples) << threads;
+        EXPECT_DOUBLE_EQ(r.pkgPowerW, ref.pkgPowerW) << threads;
+        EXPECT_DOUBLE_EQ(r.p99LatencyUs, ref.p99LatencyUs) << threads;
+        EXPECT_DOUBLE_EQ(r.capThrottleResidency,
+                         ref.capThrottleResidency)
+            << threads;
+        EXPECT_DOUBLE_EQ(r.budgetUtilization, ref.budgetUtilization)
+            << threads;
+    }
+}
+
+TEST(FleetCapping, OversubscribedFleetHoldsTheRackBudget)
+{
+    const auto r =
+        fleet::FleetSim(cappedFleet(1.5, CapActuator::IdleInject, 0.25))
+            .run();
+    ASSERT_TRUE(r.capEnabled);
+    EXPECT_NEAR(r.rackBudgetW, 4 * 62.0 / 1.5, 1e-9);
+    // The fleet's package draw respects the rack budget (small
+    // tolerance: RAPL windows and allocation epochs don't align).
+    EXPECT_LT(r.pkgPowerW, r.rackBudgetW * 1.05);
+    EXPECT_GT(r.capThrottleResidency, 0.02);
+    EXPECT_GT(r.budgetUtilization, 0.5);
+    EXPECT_EQ(r.emergencyEpochs, 0u);
+}
+
+TEST(FleetCapping, BreakerTripShedsPowerWithinOneEpoch)
+{
+    auto fc = cappedFleet(1.0, CapActuator::IdleInject, 0.20, 5);
+    fc.duration = 260 * kMs;
+    fc.budget.breaker.enabled = true;
+    fc.budget.breaker.at = 150 * kMs;
+    fc.budget.breaker.duration = 100 * kMs;
+    fc.budget.breaker.factor = 0.60;
+    const auto r = fleet::FleetSim(fc).run();
+
+    // Locate the allocation epochs straddling the trip.
+    const auto &log = r.budgetLog;
+    ASSERT_GT(log.size(), 4u);
+    double pre_demand = 0.0, pre_budget = 0.0;
+    bool found = false;
+    for (std::size_t i = 0; i + 2 < log.size(); ++i) {
+        if (log[i + 1].at < fc.budget.breaker.at ||
+            log[i].at >= fc.budget.breaker.at)
+            continue;
+        found = true;
+        pre_demand = log[i].demandW;
+        pre_budget = log[i].budgetW;
+        const auto &next = log[i + 1];  // first tripped allocation
+        const auto &nnext = log[i + 2]; // demand one epoch later
+        EXPECT_NEAR(next.budgetW, pre_budget * 0.60, 1e-9);
+        // One budget epoch after the cut the fleet has shed most of
+        // the excess: demand sits within 15% of the derated budget.
+        EXPECT_LT(nnext.demandW, next.budgetW * 1.15);
+        EXPECT_LT(nnext.demandW, pre_demand * 0.85);
+        break;
+    }
+    ASSERT_TRUE(found);
+    EXPECT_GT(pre_demand, 0.0);
+}
+
+TEST(FleetCapping, CsvRowCarriesCapColumns)
+{
+    const auto r =
+        fleet::FleetSim(cappedFleet(1.5, CapActuator::Hybrid, 0.2)).run();
+    const auto header = fleet::FleetReport::csvHeader();
+    const auto row = r.csvRow();
+    EXPECT_NE(header.find("rack_budget_w"), std::string::npos);
+    EXPECT_NE(header.find("cap_violation_rate"), std::string::npos);
+    // Same column count in header and row.
+    const auto count = [](const std::string &s) {
+        std::size_t n = 1;
+        for (char c : s)
+            if (c == ',')
+                ++n;
+        return n;
+    };
+    EXPECT_EQ(count(header), count(row));
+}
+
+} // namespace
+} // namespace apc::cap

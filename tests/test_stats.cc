@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
 
 #include "stats/histogram.h"
 #include "stats/residency.h"
@@ -133,6 +136,112 @@ TEST(Histogram, MergeIntoEmptyAndFromEmpty)
     EXPECT_EQ(a.count(), 1u);
 }
 
+TEST(Histogram, MergeBothEmptyStaysEmpty)
+{
+    Histogram a(1.0, 1e6, 32), b(1.0, 1e6, 32);
+    ASSERT_TRUE(a.merge(b));
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(a.quantile(0.5), 0.0);
+    // Still usable afterwards.
+    a.record(3.0);
+    EXPECT_DOUBLE_EQ(a.minSample(), 3.0);
+    EXPECT_DOUBLE_EQ(a.maxSample(), 3.0);
+}
+
+TEST(Histogram, QuantileOfIdenticalSamplesIsExact)
+{
+    // All mass in one bin: interpolation must clamp to the recorded
+    // value, not report the bin's geometric interior.
+    Histogram h(1.0, 1e6, 32);
+    for (int i = 0; i < 1000; ++i)
+        h.record(77.0);
+    for (double q : {0.01, 0.25, 0.5, 0.75, 0.99})
+        EXPECT_DOUBLE_EQ(h.quantile(q), 77.0) << q;
+}
+
+TEST(Histogram, QuantileAtBucketBoundaries)
+{
+    // Two samples in distinct bins: any interior quantile interpolates
+    // within a matched bin and must stay inside [min, max] and on the
+    // correct side of the bin split.
+    Histogram h(1.0, 1e6, 8);
+    h.record(10.0);
+    h.record(1000.0);
+    const double p25 = h.quantile(0.25);
+    const double p75 = h.quantile(0.75);
+    EXPECT_GE(p25, 10.0);
+    EXPECT_LT(p25, 1000.0);
+    EXPECT_GT(p75, 10.0);
+    EXPECT_LE(p75, 1000.0);
+    EXPECT_LE(p25, p75);
+    // The cumulative boundary between the two samples: q just below
+    // 0.5 resolves inside the first sample's bin (10 lives in
+    // [10, 10^(9/8)) on this grid), just above inside the second's
+    // ([1000, 10^(25/8))).
+    EXPECT_LT(h.quantile(0.49), std::pow(10.0, 9.0 / 8.0));
+    EXPECT_GE(h.quantile(0.51), 1000.0);
+}
+
+TEST(Histogram, ToCsvEmptyIsHeaderOnly)
+{
+    Histogram h(1.0, 1e6, 32);
+    EXPECT_EQ(h.toCsv(), "bin_lower,bin_upper,count\n");
+}
+
+TEST(Histogram, ToCsvRoundTripPreservesBinContents)
+{
+    Histogram h(1.0, 1e4, 16);
+    h.record(0.5);  // underflow
+    h.record(5e6);  // overflow
+    for (int i = 1; i <= 2000; ++i)
+        h.record(static_cast<double>(i % 997) + 1.0);
+
+    // Re-record every CSV row's geometric midpoint with its count into
+    // a second histogram with identical binning (the midpoint is
+    // robust against the lower edge rounding into the previous bin):
+    // bin contents — and therefore counts and bin-resolution
+    // quantiles — must survive.
+    Histogram back(1.0, 1e4, 16);
+    std::istringstream in(h.toCsv());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line)); // header
+    EXPECT_EQ(line, "bin_lower,bin_upper,count");
+    while (std::getline(in, line)) {
+        double lo = 0, hi = 0;
+        unsigned long long cnt = 0;
+        ASSERT_EQ(std::sscanf(line.c_str(), "%lf,%lf,%llu", &lo, &hi,
+                              &cnt),
+                  3)
+            << line;
+        EXPECT_LE(lo, hi);
+        back.record(lo > 0 ? std::sqrt(lo * hi) : 0.0, cnt);
+    }
+    ASSERT_EQ(back.count(), h.count());
+    for (std::size_t i = 0; i < h.numBins(); ++i)
+        EXPECT_EQ(back.binCount(i), h.binCount(i)) << i;
+    // Quantiles agree to within the interpolation inside one bin.
+    for (double q : {0.5, 0.95, 0.99})
+        EXPECT_NEAR(back.quantile(q), h.quantile(q),
+                    h.quantile(q) * 0.16)
+            << q;
+}
+
+TEST(Histogram, ToCsvOverflowRowUsesMaxSampleAsUpperEdge)
+{
+    Histogram h(1.0, 100.0, 8);
+    h.record(5000.0);
+    const std::string csv = h.toCsv();
+    double lo = 0, hi = 0;
+    unsigned long long cnt = 0;
+    ASSERT_EQ(std::sscanf(csv.c_str(), "bin_lower,bin_upper,count\n"
+                                       "%lf,%lf,%llu",
+                          &lo, &hi, &cnt),
+              3);
+    EXPECT_DOUBLE_EQ(hi, 5000.0);
+    EXPECT_EQ(cnt, 1u);
+}
+
 TEST(Histogram, MergeRejectsBinningMismatch)
 {
     Histogram a(1.0, 1e6, 32), b(1.0, 1e6, 64), c(0.1, 1e6, 32);
@@ -209,6 +318,19 @@ TEST(Summary, MergeWithEmptySides)
     a.merge(empty); // full <- empty
     EXPECT_EQ(a.count(), 2u);
     EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+}
+
+TEST(Summary, MergeBothEmptyStaysEmptyAndUsable)
+{
+    Summary a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    a.record(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 9.0);
+    EXPECT_DOUBLE_EQ(a.min(), 9.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
 }
 
 TEST(Residency, AccumulatesTimePerState)
