@@ -1,47 +1,187 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace apc::sim {
 
-EventHandle
-EventQueue::scheduleAt(Tick when, EventFn fn)
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (freeHead_ != kNoSlot) {
+        const std::uint32_t slot = freeHead_;
+        freeHead_ = records_[slot].nextFree;
+        return slot;
+    }
+    records_.emplace_back();
+    return static_cast<std::uint32_t>(records_.size() - 1);
+}
+
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    Record &rec = records_[slot];
+    rec.fn = nullptr;
+    ++rec.gen; // invalidates outstanding handles
+    rec.scheduled = false;
+    rec.cancelled = false;
+    rec.nextFree = freeHead_;
+    freeHead_ = slot;
+}
+
+std::uint32_t
+EventQueue::prepareSchedule(Tick when)
 {
     assert(when >= now_ && "event scheduled in the past");
     if (when < now_)
         when = now_;
-    auto state = std::make_shared<EventHandle::State>();
-    heap_.push(Entry{when, nextSeq_++, std::move(fn), state});
+
+    const std::uint32_t slot = allocSlot();
+    Record &rec = records_[slot];
+    rec.seq = nextSeq_++;
+    rec.scheduled = true;
     ++live_;
-    return EventHandle(std::move(state));
+
+    // An idle wheel may lag far behind after a quiet stretch; resync the
+    // window to now so short-horizon timers keep hitting buckets.
+    if (wheelCount_ == 0 && runPos_ >= run_.size()) {
+        const Tick aligned = now_ & ~(kBucketTicks - 1);
+        if (aligned > wheelNext_)
+            wheelNext_ = aligned;
+    }
+
+    const Ref ref{when, rec.seq, slot};
+    if (when >= wheelNext_ && when - wheelNext_ < kWheelSpan) {
+        buckets_[bucketIndex(when)].push_back(ref);
+        ++wheelCount_;
+        ++wheelScheduled_;
+    } else {
+        heap_.push_back(ref);
+        std::push_heap(heap_.begin(), heap_.end(), RefLater{});
+        ++heapScheduled_;
+    }
+    return slot;
+}
+
+void
+EventQueue::cancelEvent(std::uint32_t slot, std::uint32_t gen)
+{
+    if (slot >= records_.size())
+        return;
+    Record &rec = records_[slot];
+    if (rec.gen != gen || !rec.scheduled || rec.cancelled)
+        return;
+    rec.cancelled = true;
+    rec.fn = nullptr; // release captured state immediately
+    --live_;
+    ++dead_;
+    maybeCompact();
+}
+
+void
+EventQueue::loadNextBucket()
+{
+    std::vector<Ref> &bucket = buckets_[bucketIndex(wheelNext_)];
+    run_.clear();
+    runPos_ = 0;
+    if (!bucket.empty()) {
+        run_.swap(bucket);
+        wheelCount_ -= run_.size();
+        if (run_.size() > 1)
+            std::sort(run_.begin(), run_.end(),
+                      [](const Ref &a, const Ref &b) {
+                          if (a.when != b.when)
+                              return a.when < b.when;
+                          return a.seq < b.seq;
+                      });
+    }
+    wheelNext_ += kBucketTicks;
+}
+
+/**
+ * Establish the pop invariant: the run cursor and heap top are live, and
+ * every wheel bucket that could hold an entry preceding the heap top has
+ * been loaded. @return true if any event is pending.
+ */
+bool
+EventQueue::prepareNext()
+{
+    for (;;) {
+        if (dead_ > 0) {
+            while (runPos_ < run_.size() && refDead(run_[runPos_])) {
+                --dead_;
+                freeSlot(run_[runPos_].slot);
+                ++runPos_;
+            }
+            while (!heap_.empty() && refDead(heap_.front())) {
+                --dead_;
+                freeSlot(heap_.front().slot);
+                std::pop_heap(heap_.begin(), heap_.end(), RefLater{});
+                heap_.pop_back();
+            }
+        }
+        if (runPos_ < run_.size())
+            return true;
+        if (wheelCount_ == 0)
+            return !heap_.empty();
+        if (!heap_.empty() && heap_.front().when < wheelNext_)
+            return true; // heap top precedes all unloaded wheel content
+        loadNextBucket();
+    }
 }
 
 bool
-EventQueue::skipDead()
+EventQueue::takeNext(Ref &out)
 {
-    while (!heap_.empty() && heap_.top().state->cancelled) {
-        heap_.pop();
-        --live_;
+    if (!prepareNext())
+        return false;
+    const bool haveRun = runPos_ < run_.size();
+    bool fromRun = haveRun;
+    if (haveRun && !heap_.empty()) {
+        const Ref &r = run_[runPos_];
+        const Ref &h = heap_.front();
+        fromRun = r.when != h.when ? r.when < h.when : r.seq < h.seq;
     }
-    return !heap_.empty();
+    if (fromRun) {
+        out = run_[runPos_++];
+    } else {
+        out = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), RefLater{});
+        heap_.pop_back();
+    }
+    return true;
+}
+
+bool
+EventQueue::peekWhen(Tick &when)
+{
+    if (!prepareNext())
+        return false;
+    const bool haveRun = runPos_ < run_.size();
+    if (haveRun && !heap_.empty())
+        when = std::min(run_[runPos_].when, heap_.front().when);
+    else
+        when = haveRun ? run_[runPos_].when : heap_.front().when;
+    return true;
 }
 
 bool
 EventQueue::step()
 {
-    if (!skipDead())
+    Ref ref;
+    if (!takeNext(ref))
         return false;
-    // priority_queue::top() is const; the entry must be moved out, so pop
-    // into a local copy. Entries are small (a function object).
-    Entry e = heap_.top();
-    heap_.pop();
-    assert(e.when >= now_);
-    now_ = e.when;
-    e.state->fired = true;
+    assert(ref.when >= now_);
+    now_ = ref.when;
+    Record &rec = records_[ref.slot];
+    EventFn fn = std::move(rec.fn);
+    // Free the slot before invoking: the callback may schedule (growing
+    // the pool and invalidating `rec`) or cancel its own stale handle.
+    freeSlot(ref.slot);
     --live_;
     ++executed_;
-    e.fn();
+    fn();
     return true;
 }
 
@@ -49,7 +189,8 @@ std::uint64_t
 EventQueue::runUntil(Tick until)
 {
     std::uint64_t n = 0;
-    while (skipDead() && heap_.top().when <= until) {
+    Tick when;
+    while (peekWhen(when) && when <= until) {
         step();
         ++n;
     }
@@ -65,6 +206,50 @@ EventQueue::runAll()
     while (step())
         ++n;
     return n;
+}
+
+void
+EventQueue::maybeCompact()
+{
+    if (dead_ >= 64 && dead_ > live_)
+        compact();
+}
+
+/** Reap every tombstone from the heap, wheel buckets, and run tail. */
+void
+EventQueue::compact()
+{
+    auto reap = [this](std::vector<Ref> &v, std::size_t from = 0) {
+        auto out = v.begin() + static_cast<std::ptrdiff_t>(from);
+        for (auto it = out; it != v.end(); ++it) {
+            if (refDead(*it)) {
+                freeSlot(it->slot);
+            } else {
+                *out++ = *it;
+            }
+        }
+        v.erase(out, v.end());
+    };
+
+    const std::size_t heapBefore = heap_.size();
+    reap(heap_);
+    if (heap_.size() != heapBefore)
+        std::make_heap(heap_.begin(), heap_.end(), RefLater{});
+
+    for (std::vector<Ref> &bucket : buckets_) {
+        if (!bucket.empty()) {
+            const std::size_t before = bucket.size();
+            reap(bucket);
+            wheelCount_ -= before - bucket.size();
+        }
+    }
+
+    // The run prefix [0, runPos_) is already consumed; reap the tail in
+    // place (it stays sorted — reaping preserves relative order).
+    reap(run_, runPos_);
+
+    dead_ = 0;
+    ++compactions_;
 }
 
 } // namespace apc::sim

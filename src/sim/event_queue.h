@@ -2,36 +2,75 @@
  * @file
  * Discrete-event queue for the AgilePkgC simulator.
  *
- * Events are (time, sequence, callback) triples kept in a binary min-heap.
- * The monotonically increasing sequence number makes same-tick ordering
- * deterministic (FIFO among events scheduled for the same tick).
+ * Events are (time, sequence, callback) triples; the monotonically
+ * increasing sequence number makes same-tick ordering deterministic
+ * (FIFO among events scheduled for the same tick). The firing order is
+ * the total order by (when, seq) regardless of which internal container
+ * an event lands in, so results are bit-identical to a plain binary
+ * heap.
  *
- * Scheduled events can be cancelled via the EventHandle returned at
- * scheduling time; cancellation is O(1) (a tombstone flag) and the dead
- * entry is dropped lazily when popped.
+ * The implementation is built for the fleet-sweep hot path (millions of
+ * short-horizon timers per run):
+ *
+ *  - **Slab-pooled event records.** Callbacks live in a pooled
+ *    `EventRecord` with an inline small-buffer callable
+ *    (`InplaceFunction`), so scheduling performs no `std::function` or
+ *    `shared_ptr` heap allocation. Slots are recycled through a free
+ *    list; `EventHandle`s carry a generation counter and go stale (not
+ *    dangling) when their slot is reused.
+ *
+ *  - **Near-future timer wheel.** Events within ~2 ms of the wheel
+ *    window land in one of 2048 ~1 µs buckets and bypass the binary
+ *    heap entirely; a bucket is sorted once when the queue advances
+ *    into it. Far-future events (and events landing in an
+ *    already-consumed bucket) fall back to the heap. This absorbs the
+ *    common short timers — C-state hysteresis, rx-usecs coalescing,
+ *    RTO, cap sampling — at O(1) push instead of O(log n) heap churn.
+ *
+ *  - **Tombstone reaping.** `EventHandle::cancel()` is O(1) (flag +
+ *    immediate callback destruction); dead entries are dropped lazily
+ *    at the consumption point and compacted eagerly once they
+ *    outnumber live events, so cancel/reschedule-heavy workloads no
+ *    longer grow the queue without bound.
  */
 
 #ifndef APC_SIM_EVENT_QUEUE_H
 #define APC_SIM_EVENT_QUEUE_H
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/time.h"
 
 namespace apc::sim {
 
-/** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
+/**
+ * Callback type executed when an event fires. Inline capacity of 64
+ * bytes covers a `this` pointer plus several captured scalars — the
+ * entire simulator schedules without a callback heap allocation.
+ */
+using EventFn = InplaceFunction<void(), 64>;
+
+class EventQueue;
 
 /**
  * Cancellable reference to a scheduled event.
  *
- * Default-constructed handles are inert. Handles are cheap to copy; all
- * copies refer to the same underlying event.
+ * Default-constructed handles are inert. Handles are cheap to copy
+ * (three words, no ownership); all copies refer to the same underlying
+ * event. A handle whose event has fired — or whose pooled slot has been
+ * recycled for a newer event — compares the stored generation against
+ * the slot's and degrades to a no-op, so stale handles can never cancel
+ * somebody else's event.
+ *
+ * Handles reference their EventQueue without owning it (unlike the
+ * previous shared_ptr-based design): cancel()/pending() must not be
+ * called after the queue is destroyed. In practice every handle lives
+ * in a component owned alongside the queue's Simulation, so normal
+ * teardown is safe.
  */
 class EventHandle
 {
@@ -39,37 +78,24 @@ class EventHandle
     EventHandle() = default;
 
     /** Cancel the event if it has not fired yet. Safe to call repeatedly. */
-    void
-    cancel()
-    {
-        if (state_)
-            state_->cancelled = true;
-    }
+    inline void cancel();
 
     /** @return true if this handle refers to a not-yet-fired event. */
-    bool
-    pending() const
-    {
-        return state_ && !state_->cancelled && !state_->fired;
-    }
+    inline bool pending() const;
 
     /** @return true if this handle refers to any event at all. */
-    bool valid() const { return state_ != nullptr; }
+    bool valid() const { return queue_ != nullptr; }
 
   private:
     friend class EventQueue;
 
-    struct State
-    {
-        bool cancelled = false;
-        bool fired = false;
-    };
-
-    explicit EventHandle(std::shared_ptr<State> state)
-        : state_(std::move(state))
+    EventHandle(EventQueue *queue, std::uint32_t slot, std::uint32_t gen)
+        : queue_(queue), slot_(slot), gen_(gen)
     {}
 
-    std::shared_ptr<State> state_;
+    EventQueue *queue_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
 };
 
 /**
@@ -79,6 +105,15 @@ class EventHandle
 class EventQueue
 {
   public:
+    /** Wheel bucket width: 2^20 ps ≈ 1.05 µs. */
+    static constexpr int kBucketShift = 20;
+    static constexpr Tick kBucketTicks = Tick(1) << kBucketShift;
+    /** Bucket count (power of two for mask indexing). */
+    static constexpr std::size_t kNumBuckets = 2048;
+    /** Wheel horizon: events beyond it go to the heap (~2.1 ms). */
+    static constexpr Tick kWheelSpan =
+        kBucketTicks * static_cast<Tick>(kNumBuckets);
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -87,18 +122,29 @@ class EventQueue
     Tick now() const { return now_; }
 
     /**
-     * Schedule @p fn to run at absolute time @p when.
+     * Schedule @p fn to run at absolute time @p when. The callable is
+     * constructed directly into the pooled event record — no temporary
+     * `EventFn`, no relocation, no heap allocation when it fits inline.
      *
      * @pre when >= now(); scheduling in the past is a simulator bug and
      *      asserts in debug builds (clamped to now() otherwise).
      */
-    EventHandle scheduleAt(Tick when, EventFn fn);
+    template <typename F>
+    EventHandle
+    scheduleAt(Tick when, F &&fn)
+    {
+        const std::uint32_t slot = prepareSchedule(when);
+        Record &rec = records_[slot];
+        rec.fn = std::forward<F>(fn);
+        return EventHandle(this, slot, rec.gen);
+    }
 
     /** Schedule @p fn to run @p delay ticks from now. */
+    template <typename F>
     EventHandle
-    scheduleAfter(Tick delay, EventFn fn)
+    scheduleAfter(Tick delay, F &&fn)
     {
-        return scheduleAt(now_ + delay, std::move(fn));
+        return scheduleAt(now_ + delay, std::forward<F>(fn));
     }
 
     /**
@@ -119,28 +165,61 @@ class EventQueue
      */
     bool step();
 
-    /**
-     * Number of events still pending. Cancelled events are only removed
-     * lazily, so this is an upper bound until the queue is next polled.
-     */
+    /** Number of live (scheduled, not cancelled) events. */
     std::size_t pendingEvents() const { return live_; }
 
     /** Total events executed since construction. */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /**
+     * Entries physically present in the internal containers, including
+     * cancelled-but-unreaped tombstones. Compaction keeps this within a
+     * small factor of pendingEvents(); exposed for regression tests.
+     */
+    std::size_t internalEntries() const { return live_ + dead_; }
+
+    /** Cancelled entries awaiting reaping. */
+    std::size_t deadEntries() const { return dead_; }
+
+    /** Allocated record-pool slots (high-water mark of internalEntries). */
+    std::size_t poolCapacity() const { return records_.size(); }
+
+    /** Eager tombstone compaction passes run so far. */
+    std::uint64_t compactions() const { return compactions_; }
+
+    /** Events that entered through the timer wheel / the binary heap. */
+    std::uint64_t wheelScheduled() const { return wheelScheduled_; }
+    std::uint64_t heapScheduled() const { return heapScheduled_; }
+
   private:
-    struct Entry
+    friend class EventHandle;
+
+    static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+    /** Pooled event record; the callable lives inline here. */
+    struct Record
+    {
+        EventFn fn;
+        std::uint64_t seq = 0;
+        std::uint32_t gen = 0;
+        std::uint32_t nextFree = kNoSlot;
+        bool scheduled = false;
+        bool cancelled = false;
+    };
+
+    /** Lightweight entry stored in the wheel buckets and the heap. */
+    struct Ref
     {
         Tick when;
         std::uint64_t seq;
-        EventFn fn;
-        std::shared_ptr<EventHandle::State> state;
+        std::uint32_t slot;
     };
 
-    struct Later
+    /** Heap comparator: min-heap by (when, seq). */
+    struct RefLater
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const Ref &a, const Ref &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -148,15 +227,78 @@ class EventQueue
         }
     };
 
-    /** Pop dead entries; @return true if a live entry is on top. */
-    bool skipDead();
+    static std::size_t
+    bucketIndex(Tick when)
+    {
+        return static_cast<std::size_t>(when >> kBucketShift) &
+            (kNumBuckets - 1);
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    bool refDead(const Ref &r) const { return records_[r.slot].cancelled; }
+
+    /**
+     * Allocate a record, assign its sequence number, and place the
+     * (when, seq, slot) ref in the wheel or heap. The caller fills in
+     * the callable. @return the record slot.
+     */
+    std::uint32_t prepareSchedule(Tick when);
+
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t slot);
+    void loadNextBucket();
+    bool prepareNext();
+    bool takeNext(Ref &out);
+    bool peekWhen(Tick &when);
+    void maybeCompact();
+    void compact();
+
+    // EventHandle backends.
+    void cancelEvent(std::uint32_t slot, std::uint32_t gen);
+    bool
+    eventPending(std::uint32_t slot, std::uint32_t gen) const
+    {
+        return slot < records_.size() && records_[slot].gen == gen &&
+            records_[slot].scheduled && !records_[slot].cancelled;
+    }
+
+    std::vector<Record> records_;
+    std::uint32_t freeHead_ = kNoSlot;
+
+    /** Far-future / already-consumed-bucket events, min-heap by (when, seq). */
+    std::vector<Ref> heap_;
+
+    /** Near-future wheel. Buckets hold unsorted refs until consumed. */
+    std::array<std::vector<Ref>, kNumBuckets> buckets_;
+    std::size_t wheelCount_ = 0;
+    /** Start tick of the first not-yet-consumed bucket (bucket-aligned). */
+    Tick wheelNext_ = 0;
+
+    /** The bucket being drained: sorted by (when, seq), consumed in order. */
+    std::vector<Ref> run_;
+    std::size_t runPos_ = 0;
+
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
     std::size_t live_ = 0;
+    std::size_t dead_ = 0;
+    std::uint64_t compactions_ = 0;
+    std::uint64_t wheelScheduled_ = 0;
+    std::uint64_t heapScheduled_ = 0;
 };
+
+inline void
+EventHandle::cancel()
+{
+    if (queue_)
+        queue_->cancelEvent(slot_, gen_);
+}
+
+inline bool
+EventHandle::pending() const
+{
+    return queue_ && queue_->eventPending(slot_, gen_);
+}
 
 } // namespace apc::sim
 

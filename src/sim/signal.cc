@@ -5,10 +5,8 @@
 namespace apc::sim {
 
 void
-Signal::write(bool v)
+Signal::applyEdge(bool v)
 {
-    // Any direct write supersedes in-flight delayed writes.
-    ++writeGen_;
     if (v == value_)
         return;
     value_ = v;
@@ -16,11 +14,32 @@ Signal::write(bool v)
         ++rising_;
     else
         ++falling_;
-    // Copy the subscriber list so observers may subscribe/unsubscribe
-    // (but not destroy the signal) from inside callbacks.
-    auto subs = subs_;
-    for (auto &s : subs)
-        s.fn(v);
+    // Dispatch in place over a snapshot of the current length — no
+    // per-edge copy of the observer list. Observers subscribed during
+    // dispatch land past `n` and miss this edge; observers unsubscribed
+    // during dispatch are tombstoned (id 0) and skipped, with the
+    // physical erase deferred until the outermost dispatch unwinds so a
+    // self-unsubscribing callback is never destroyed mid-call.
+    const std::size_t n = subs_.size();
+    ++dispatchDepth_;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (subs_[i].id != 0)
+            subs_[i].fn(v);
+    }
+    if (--dispatchDepth_ == 0 && pendingRemoval_) {
+        subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
+                                   [](const Sub &s) { return s.id == 0; }),
+                    subs_.end());
+        pendingRemoval_ = false;
+    }
+}
+
+void
+Signal::write(bool v)
+{
+    // Any direct write supersedes in-flight delayed writes.
+    ++writeGen_;
+    applyEdge(v);
 }
 
 void
@@ -33,19 +52,8 @@ Signal::writeAfter(Tick delay, bool v)
     const std::uint64_t gen = ++writeGen_;
     sim_.after(delay, [this, gen, v] {
         // Only apply if no newer write superseded this one.
-        if (writeGen_ != gen)
-            return;
-        // Apply without bumping the generation again.
-        if (v == value_)
-            return;
-        value_ = v;
-        if (v)
-            ++rising_;
-        else
-            ++falling_;
-        auto subs = subs_;
-        for (auto &s : subs)
-            s.fn(v);
+        if (writeGen_ == gen)
+            applyEdge(v);
     });
 }
 
@@ -60,9 +68,18 @@ Signal::subscribe(SignalObserver fn)
 void
 Signal::unsubscribe(std::uint64_t id)
 {
-    subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
-                               [id](const Sub &s) { return s.id == id; }),
-                subs_.end());
+    if (id == 0)
+        return;
+    auto it = std::find_if(subs_.begin(), subs_.end(),
+                           [id](const Sub &s) { return s.id == id; });
+    if (it == subs_.end())
+        return;
+    if (dispatchDepth_ > 0) {
+        it->id = 0;
+        pendingRemoval_ = true;
+    } else {
+        subs_.erase(it);
+    }
 }
 
 AndTree::AndTree(Simulation &sim, const std::string &name, Tick prop_delay)

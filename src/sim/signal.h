@@ -18,17 +18,22 @@
 #define APC_SIM_SIGNAL_H
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
 
 namespace apc::sim {
 
-/** Edge callback: invoked with the new level after a change. */
-using SignalObserver = std::function<void(bool)>;
+/**
+ * Edge callback: invoked with the new level after a change. Stored
+ * inline (no heap allocation) when the captures fit in 32 bytes — every
+ * observer in the control fabric is a `this` pointer plus a scalar or
+ * two.
+ */
+using SignalObserver = InplaceFunction<void(bool), 32>;
 
 /** A named boolean wire with edge notification. */
 class Signal
@@ -67,10 +72,17 @@ class Signal
     /**
      * Subscribe to edges. @return a subscription id for unsubscribe().
      * Observers must not destroy the signal from inside the callback.
+     * Observers subscribed from inside a callback do not see the edge
+     * being dispatched.
      */
     std::uint64_t subscribe(SignalObserver fn);
 
-    /** Remove a subscription. Safe against already-removed ids. */
+    /**
+     * Remove a subscription. Safe against already-removed ids, and safe
+     * to call from inside an observer callback (including
+     * self-unsubscription): the entry stops receiving edges immediately
+     * but is physically erased only after the dispatch unwinds.
+     */
     void unsubscribe(std::uint64_t id);
 
     /** Number of rising edges seen so far (for stats/tests). */
@@ -81,9 +93,12 @@ class Signal
   private:
     struct Sub
     {
-        std::uint64_t id;
+        std::uint64_t id; ///< 0 marks an entry unsubscribed mid-dispatch
         SignalObserver fn;
     };
+
+    /** Apply an edge (no generation bump) and notify observers. */
+    void applyEdge(bool v);
 
     Simulation &sim_;
     std::string name_;
@@ -93,6 +108,8 @@ class Signal
     std::uint64_t rising_ = 0;
     std::uint64_t falling_ = 0;
     std::vector<Sub> subs_;
+    int dispatchDepth_ = 0;
+    bool pendingRemoval_ = false;
 };
 
 /**

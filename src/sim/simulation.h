@@ -32,17 +32,19 @@ class Simulation
     Tick now() const { return events_.now(); }
 
     /** Schedule @p fn at absolute tick @p when. */
+    template <typename F>
     EventHandle
-    at(Tick when, EventFn fn)
+    at(Tick when, F &&fn)
     {
-        return events_.scheduleAt(when, std::move(fn));
+        return events_.scheduleAt(when, std::forward<F>(fn));
     }
 
     /** Schedule @p fn @p delay ticks from now. */
+    template <typename F>
     EventHandle
-    after(Tick delay, EventFn fn)
+    after(Tick delay, F &&fn)
     {
-        return events_.scheduleAfter(delay, std::move(fn));
+        return events_.scheduleAfter(delay, std::forward<F>(fn));
     }
 
     /** Run until @p until (inclusive); see EventQueue::runUntil. */

@@ -11,6 +11,7 @@
 #ifndef APC_SIM_TIME_H
 #define APC_SIM_TIME_H
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -33,25 +34,30 @@ inline constexpr Tick kSec = 1000 * kMs;
 /** A tick value used to mean "never" / "not scheduled". */
 inline constexpr Tick kTickNever = INT64_MAX;
 
-/** Convert a floating point count of seconds to ticks (rounds to nearest). */
-constexpr Tick
+/**
+ * Convert a floating point count of seconds to ticks (rounds to
+ * nearest, halves away from zero). `std::llround` handles negative
+ * deltas correctly; the previous `+ 0.5`-then-truncate rounded them
+ * toward zero (e.g. -0.4 ps became +0).
+ */
+inline Tick
 fromSeconds(double s)
 {
-    return static_cast<Tick>(s * static_cast<double>(kSec) + 0.5);
+    return std::llround(s * static_cast<double>(kSec));
 }
 
 /** Convert a floating point count of microseconds to ticks. */
-constexpr Tick
+inline Tick
 fromMicros(double us)
 {
-    return static_cast<Tick>(us * static_cast<double>(kUs) + 0.5);
+    return std::llround(us * static_cast<double>(kUs));
 }
 
 /** Convert a floating point count of nanoseconds to ticks. */
-constexpr Tick
+inline Tick
 fromNanos(double ns)
 {
-    return static_cast<Tick>(ns * static_cast<double>(kNs) + 0.5);
+    return std::llround(ns * static_cast<double>(kNs));
 }
 
 /** Convert ticks to floating point seconds. */
@@ -79,10 +85,10 @@ toNanos(Tick t)
  * Period of a clock of the given frequency in Hz, rounded to the nearest
  * tick. E.g. clockPeriod(500e6) == 2 * kNs for the 500 MHz APMU clock.
  */
-constexpr Tick
+inline Tick
 clockPeriod(double hz)
 {
-    return static_cast<Tick>(static_cast<double>(kSec) / hz + 0.5);
+    return std::llround(static_cast<double>(kSec) / hz);
 }
 
 /**

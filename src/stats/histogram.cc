@@ -36,6 +36,12 @@ Histogram::record(double v, std::uint64_t weight)
 {
     if (weight == 0)
         return;
+    if (std::isnan(v)) {
+        // Every ordered comparison on NaN is false, so it would land in
+        // the underflow bin and silently poison sum/mean; reject it.
+        nanCount_ += weight;
+        return;
+    }
     if (count_ == 0) {
         min_ = max_ = v;
     } else {
@@ -111,6 +117,7 @@ Histogram::merge(const Histogram &other)
 {
     if (!sameBinning(other))
         return false;
+    nanCount_ += other.nanCount_;
     if (other.count_ == 0)
         return true;
     if (count_ == 0) {
@@ -142,6 +149,11 @@ Histogram::toCsv() const
                       static_cast<unsigned long long>(bins_[i]));
         out += line;
     }
+    if (nanCount_) {
+        std::snprintf(line, sizeof(line), "nan,nan,%llu\n",
+                      static_cast<unsigned long long>(nanCount_));
+        out += line;
+    }
     return out;
 }
 
@@ -150,6 +162,7 @@ Histogram::clear()
 {
     std::fill(bins_.begin(), bins_.end(), 0);
     count_ = 0;
+    nanCount_ = 0;
     sum_ = 0.0;
     min_ = max_ = 0.0;
 }

@@ -31,14 +31,21 @@ class Histogram
     explicit Histogram(double min_value = 1.0, double max_value = 1e12,
                        int bins_per_decade = 32);
 
-    /** Record one sample. Non-positive samples count into the underflow. */
+    /**
+     * Record one sample. Non-positive samples count into the underflow;
+     * NaN samples are rejected (tracked in nanCount(), excluded from
+     * count/sum/quantiles).
+     */
     void record(double v) { record(v, 1); }
 
     /** Record a sample with an integer weight. */
     void record(double v, std::uint64_t weight);
 
-    /** Number of recorded samples (including weights). */
+    /** Number of recorded samples (including weights; excludes NaNs). */
     std::uint64_t count() const { return count_; }
+
+    /** Rejected NaN samples (weighted). */
+    std::uint64_t nanCount() const { return nanCount_; }
 
     /** Sum of recorded samples (weighted). */
     double sum() const { return sum_; }
@@ -90,8 +97,9 @@ class Histogram
     /**
      * CSV rendering for plotting: a `bin_lower,bin_upper,count` header
      * plus one row per non-empty bin (underflow has lower edge 0; the
-     * overflow bin's upper edge is the largest recorded sample). An
-     * empty histogram renders as just the header.
+     * overflow bin's upper edge is the largest recorded sample). If any
+     * NaN samples were rejected, a final `nan,nan,<count>` row reports
+     * them. An empty histogram renders as just the header.
      */
     std::string toCsv() const;
 
@@ -111,6 +119,7 @@ class Histogram
     double binsPerDecade_;
     std::vector<std::uint64_t> bins_;
     std::uint64_t count_ = 0;
+    std::uint64_t nanCount_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;

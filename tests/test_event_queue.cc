@@ -33,6 +33,29 @@ TEST(Time, Conversions)
     EXPECT_EQ(fromNanos(64.0), 64 * kNs);
 }
 
+TEST(Time, NegativeDeltasRoundToNearest)
+{
+    // The old `+ 0.5`-then-truncate rounded negatives toward zero:
+    // fromNanos(-0.6) evaluated to -599 ps and fromSeconds(-1e-12) to
+    // 0. llround rounds to nearest with halves away from zero.
+    EXPECT_EQ(fromNanos(-0.6), -600);
+    EXPECT_EQ(fromNanos(-1.0), -1 * kNs);
+    EXPECT_EQ(fromMicros(-0.5), -500 * kNs);
+    EXPECT_EQ(fromSeconds(-2.5), -(2 * kSec + 500 * kMs));
+    EXPECT_EQ(fromSeconds(-1e-12), -1); // -1 ps must not collapse to 0
+}
+
+TEST(Time, RoundingBoundaries)
+{
+    // Halves round away from zero (llround semantics).
+    EXPECT_EQ(fromNanos(0.0005), 1);
+    EXPECT_EQ(fromNanos(-0.0005), -1);
+    EXPECT_EQ(fromNanos(0.0004), 0);
+    EXPECT_EQ(fromNanos(-0.0004), 0);
+    EXPECT_EQ(fromNanos(2.4999), 2500); // nearest, not floor
+    EXPECT_EQ(fromMicros(-1.25), -1250 * kNs);
+}
+
 TEST(Time, ClockPeriod500MHz)
 {
     // The APMU clock from the paper: 500 MHz -> 2 ns period.
@@ -152,6 +175,173 @@ TEST(EventQueue, ExecutedCountsOnlyLiveEvents)
     h.cancel();
     q.runAll();
     EXPECT_EQ(q.executedEvents(), 1u);
+}
+
+TEST(EventQueue, SameTickFifoAcrossWheelAndHeap)
+{
+    // An event landing in the *current* (already-loaded) wheel bucket
+    // goes to the binary heap while its same-tick sibling sits in the
+    // sorted bucket run; FIFO order by sequence number must still hold
+    // across the two containers.
+    EventQueue q;
+    const Tick target = EventQueue::kBucketTicks + 100;
+    std::vector<int> order;
+    q.scheduleAt(target, [&] { order.push_back(0); });      // via wheel
+    q.scheduleAt(target - 50, [&] {
+        // Running inside target's bucket: these same-tick events take
+        // the heap path (their bucket has already been consumed).
+        q.scheduleAt(target, [&] { order.push_back(1); });
+        q.scheduleAt(target, [&] { order.push_back(2); });
+    });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, WheelHeapBoundaryCrossings)
+{
+    // Events straddling the wheel horizon (± a few buckets) must fire
+    // in global time order regardless of container.
+    EventQueue q;
+    std::vector<Tick> fired;
+    const Tick span = EventQueue::kWheelSpan;
+    const std::vector<Tick> whens = {
+        span - 2 * EventQueue::kBucketTicks, // wheel
+        span + 7,                            // heap (beyond horizon)
+        5,                                   // wheel, first bucket
+        span - 1,                            // wheel, last bucket
+        span,                                // heap (exactly horizon)
+        3 * span + 11,                       // deep heap
+        span + 7,                            // duplicate tick, FIFO
+    };
+    for (Tick w : whens)
+        q.scheduleAt(w, [&fired, &q] { fired.push_back(q.now()); });
+    EXPECT_GT(q.wheelScheduled(), 0u);
+    EXPECT_GT(q.heapScheduled(), 0u);
+    q.runAll();
+    std::vector<Tick> expect = whens;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(fired, expect);
+}
+
+TEST(EventQueue, FarFutureEventsReenterWheelWindow)
+{
+    // After a long quiet gap the wheel window resyncs to now(), so
+    // short-horizon timers scheduled from a far-future event still take
+    // the wheel path.
+    EventQueue q;
+    const Tick far = 10 * EventQueue::kWheelSpan + 123;
+    bool inner = false;
+    q.scheduleAt(far, [&] {
+        const auto before = q.wheelScheduled();
+        q.scheduleAfter(100, [&] { inner = true; });
+        EXPECT_EQ(q.wheelScheduled(), before + 1);
+    });
+    q.runAll();
+    EXPECT_TRUE(inner);
+    EXPECT_EQ(q.now(), far + 100);
+}
+
+TEST(EventQueue, CancelThenFireRaceSameTick)
+{
+    // An event cancelling a same-tick later event must win the race:
+    // the victim is already in a container but must never run.
+    EventQueue q;
+    int fired = 0;
+    EventHandle victim;
+    q.scheduleAt(10, [&] { victim.cancel(); });
+    victim = q.scheduleAt(10, [&] { ++fired; });
+    q.scheduleAt(10, [&] { ++fired; }); // bystander after the victim
+    q.runAll();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.executedEvents(), 2u);
+}
+
+TEST(EventQueue, RescheduleFromCallbackPreservesOrder)
+{
+    // The classic hysteresis-timer pattern: cancel + re-arm from inside
+    // a callback, interleaved with an independent event stream.
+    EventQueue q;
+    std::vector<Tick> fired;
+    EventHandle timer;
+    timer = q.scheduleAt(100, [&] { fired.push_back(q.now()); });
+    q.scheduleAt(50, [&] {
+        timer.cancel();
+        timer = q.scheduleAt(150, [&] { fired.push_back(q.now()); });
+    });
+    q.scheduleAt(120, [&] { fired.push_back(q.now()); });
+    q.runAll();
+    EXPECT_EQ(fired, (std::vector<Tick>{120, 150}));
+}
+
+TEST(EventQueue, HandleInvalidationAfterGenerationReuse)
+{
+    EventQueue q;
+    int first = 0, second = 0;
+    auto h1 = q.scheduleAt(5, [&] { ++first; });
+    q.runAll();
+    EXPECT_EQ(first, 1);
+    EXPECT_FALSE(h1.pending());
+    // The pool recycles the slot for the next event; the stale handle
+    // must not be able to cancel (or observe) the new occupant.
+    auto h2 = q.scheduleAt(10, [&] { ++second; });
+    h1.cancel();
+    EXPECT_TRUE(h2.pending());
+    q.runAll();
+    EXPECT_EQ(second, 1);
+}
+
+TEST(EventQueue, CancelRescheduleKeepsMemoryBounded)
+{
+    // Regression: the old queue left every cancelled entry as a heap
+    // tombstone until it surfaced, so a cancel/reschedule-heavy
+    // workload (per-request hysteresis timers) grew without bound. With
+    // eager compaction, internal entries stay within a small constant
+    // of the live count.
+    EventQueue q;
+    EventHandle timer;
+    std::size_t peakEntries = 0, peakPool = 0;
+    for (int i = 0; i < 100000; ++i) {
+        timer.cancel();
+        timer = q.scheduleAfter(1000 + i % 7, [] {});
+        peakEntries = std::max(peakEntries, q.internalEntries());
+        peakPool = std::max(peakPool, q.poolCapacity());
+    }
+    EXPECT_EQ(q.pendingEvents(), 1u);
+    EXPECT_LE(peakEntries, 256u);
+    EXPECT_LE(peakPool, 256u);
+    EXPECT_GT(q.compactions(), 0u);
+    q.runAll();
+    EXPECT_EQ(q.executedEvents(), 1u);
+}
+
+TEST(EventQueue, DeterministicUnderRandomizedChurn)
+{
+    // Same seed => identical firing sequence, across a schedule/cancel
+    // mix that exercises wheel, heap, compaction, and slot reuse.
+    auto run = [](std::uint64_t seed) {
+        Rng rng(seed);
+        EventQueue q;
+        std::vector<std::pair<Tick, int>> fired;
+        std::vector<EventHandle> handles;
+        int id = 0;
+        for (int i = 0; i < 2000; ++i) {
+            const Tick d = 1 + rng.uniformInt(
+                0, static_cast<int>(2 * EventQueue::kWheelSpan /
+                                    sim::kUs)) * (sim::kUs / 4);
+            const int my = id++;
+            handles.push_back(q.scheduleAfter(
+                d, [&fired, &q, my] { fired.emplace_back(q.now(), my); }));
+            if (i % 3 == 0 && !handles.empty())
+                handles[static_cast<std::size_t>(
+                    rng.uniformInt(0, static_cast<int>(
+                        handles.size() - 1)))].cancel();
+            if (i % 5 == 0)
+                q.runUntil(q.now() + sim::kUs);
+        }
+        q.runAll();
+        return fired;
+    };
+    EXPECT_EQ(run(17), run(17));
 }
 
 TEST(Simulation, NowAndAfter)

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -240,6 +241,45 @@ TEST(Histogram, ToCsvOverflowRowUsesMaxSampleAsUpperEdge)
               3);
     EXPECT_DOUBLE_EQ(hi, 5000.0);
     EXPECT_EQ(cnt, 1u);
+}
+
+TEST(Histogram, NanSamplesAreRejectedAndCounted)
+{
+    Histogram h(1.0, 1e6, 32);
+    h.record(10.0);
+    h.record(std::nan(""));
+    h.record(std::numeric_limits<double>::quiet_NaN(), 3);
+    h.record(20.0);
+    // NaNs poison nothing: count/sum/min/max/quantiles see only the
+    // two real samples.
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.nanCount(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 30.0);
+    EXPECT_DOUBLE_EQ(h.minSample(), 10.0);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 20.0);
+    EXPECT_EQ(h.binCount(0), 0u); // not silently bucketed as underflow
+    // toCsv reports them in a trailing marker row.
+    const std::string csv = h.toCsv();
+    EXPECT_NE(csv.find("nan,nan,4\n"), std::string::npos) << csv;
+}
+
+TEST(Histogram, NanCountSurvivesMergeAndClear)
+{
+    Histogram a(1.0, 1e6, 32), b(1.0, 1e6, 32);
+    a.record(std::nan(""));
+    b.record(std::nan(""), 2);
+    b.record(5.0);
+    ASSERT_TRUE(a.merge(b));
+    EXPECT_EQ(a.nanCount(), 3u);
+    EXPECT_EQ(a.count(), 1u);
+    // An all-NaN right-hand side still folds its rejection count.
+    Histogram c(1.0, 1e6, 32);
+    c.record(std::nan(""));
+    ASSERT_TRUE(a.merge(c));
+    EXPECT_EQ(a.nanCount(), 4u);
+    a.clear();
+    EXPECT_EQ(a.nanCount(), 0u);
+    EXPECT_EQ(a.toCsv(), "bin_lower,bin_upper,count\n");
 }
 
 TEST(Histogram, MergeRejectsBinningMismatch)
