@@ -4,7 +4,79 @@
 #include <cassert>
 #include <utility>
 
+#ifndef NDEBUG
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#endif
+
 namespace apc::sim {
+
+#ifndef NDEBUG
+namespace {
+
+// Function-local statics dodge static-init-order issues. The registry
+// maps each live queue to its epoch — a process-unique id — so a probe
+// cannot pass falsely when a new queue is allocated at a destroyed
+// queue's address. A shared_mutex keeps the hot probe (every debug
+// cancel()/pending(), from every fleet worker thread) on the read path;
+// the write path runs only at queue construction/destruction.
+std::shared_mutex &
+liveQueuesMutex()
+{
+    static std::shared_mutex m;
+    return m;
+}
+
+std::unordered_map<const EventQueue *, std::uint64_t> &
+liveQueues()
+{
+    static std::unordered_map<const EventQueue *, std::uint64_t> map;
+    return map;
+}
+
+std::uint64_t
+nextQueueEpoch()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return ++counter;
+}
+
+} // namespace
+
+bool
+detail::queueAlive(const EventQueue *q, std::uint64_t epoch)
+{
+    std::shared_lock<std::shared_mutex> lock(liveQueuesMutex());
+    auto it = liveQueues().find(q);
+    return it != liveQueues().end() && it->second == epoch;
+}
+
+EventQueue::EventQueue() : epoch_(nextQueueEpoch())
+{
+    std::unique_lock<std::shared_mutex> lock(liveQueuesMutex());
+    liveQueues().emplace(this, epoch_);
+}
+
+EventQueue::~EventQueue()
+{
+    std::unique_lock<std::shared_mutex> lock(liveQueuesMutex());
+    liveQueues().erase(this);
+}
+#else
+// Keep the symbols defined even in release builds so TUs compiled with
+// assertions enabled can link against a release library (the probe then
+// never reports a false positive — it just stops catching misuse).
+bool
+detail::queueAlive(const EventQueue *, std::uint64_t)
+{
+    return true;
+}
+
+EventQueue::EventQueue() = default;
+EventQueue::~EventQueue() = default;
+#endif
 
 std::uint32_t
 EventQueue::allocSlot()
@@ -236,11 +308,15 @@ EventQueue::compact()
     if (heap_.size() != heapBefore)
         std::make_heap(heap_.begin(), heap_.end(), RefLater{});
 
-    for (std::vector<Ref> &bucket : buckets_) {
-        if (!bucket.empty()) {
-            const std::size_t before = bucket.size();
-            reap(bucket);
-            wheelCount_ -= before - bucket.size();
+    // Every bucket entry, live or dead, is counted in wheelCount_, so
+    // an empty wheel skips the 2048-bucket sweep entirely.
+    if (wheelCount_ > 0) {
+        for (std::vector<Ref> &bucket : buckets_) {
+            if (!bucket.empty()) {
+                const std::size_t before = bucket.size();
+                reap(bucket);
+                wheelCount_ -= before - bucket.size();
+            }
         }
     }
 

@@ -38,6 +38,7 @@
 #define APC_SIM_EVENT_QUEUE_H
 
 #include <array>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -56,11 +57,26 @@ using EventFn = InplaceFunction<void(), 64>;
 
 class EventQueue;
 
+namespace detail {
+/**
+ * Debug-build liveness probe: true while @p q is a constructed, not yet
+ * destroyed EventQueue whose debugEpoch() equals @p epoch. Backed by a
+ * registry of live queues (so it never dereferences @p q) and used to
+ * assert that a handle is not operated on after its queue's
+ * destruction. Matching on the per-queue epoch — a process-unique id
+ * minted at construction — keeps the probe reliable even when a new
+ * queue is allocated at the destroyed queue's address (common in fleet
+ * sweeps that recycle same-sized per-server Simulations). Always true
+ * in NDEBUG builds.
+ */
+bool queueAlive(const EventQueue *q, std::uint64_t epoch);
+} // namespace detail
+
 /**
  * Cancellable reference to a scheduled event.
  *
  * Default-constructed handles are inert. Handles are cheap to copy
- * (three words, no ownership); all copies refer to the same underlying
+ * (four words, no ownership); all copies refer to the same underlying
  * event. A handle whose event has fired — or whose pooled slot has been
  * recycled for a newer event — compares the stored generation against
  * the slot's and degrades to a no-op, so stale handles can never cancel
@@ -70,7 +86,9 @@ class EventQueue;
  * previous shared_ptr-based design): cancel()/pending() must not be
  * called after the queue is destroyed. In practice every handle lives
  * in a component owned alongside the queue's Simulation, so normal
- * teardown is safe.
+ * teardown is safe. Debug builds assert on such use-after-destruction
+ * via a live-queue registry (see detail::queueAlive) instead of
+ * dereferencing freed memory; release builds do not pay for the check.
  */
 class EventHandle
 {
@@ -89,11 +107,14 @@ class EventHandle
   private:
     friend class EventQueue;
 
-    EventHandle(EventQueue *queue, std::uint32_t slot, std::uint32_t gen)
-        : queue_(queue), slot_(slot), gen_(gen)
+    EventHandle(EventQueue *queue, std::uint64_t queue_epoch,
+                std::uint32_t slot, std::uint32_t gen)
+        : queue_(queue), queueEpoch_(queue_epoch), slot_(slot), gen_(gen)
     {}
 
     EventQueue *queue_ = nullptr;
+    /** The queue's debugEpoch(), for the use-after-destroy assert. */
+    std::uint64_t queueEpoch_ = 0;
     std::uint32_t slot_ = 0;
     std::uint32_t gen_ = 0;
 };
@@ -114,7 +135,8 @@ class EventQueue
     static constexpr Tick kWheelSpan =
         kBucketTicks * static_cast<Tick>(kNumBuckets);
 
-    EventQueue() = default;
+    EventQueue();  // registers in the debug live-queue registry
+    ~EventQueue(); // unregisters
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -136,7 +158,7 @@ class EventQueue
         const std::uint32_t slot = prepareSchedule(when);
         Record &rec = records_[slot];
         rec.fn = std::forward<F>(fn);
-        return EventHandle(this, slot, rec.gen);
+        return EventHandle(this, epoch_, slot, rec.gen);
     }
 
     /** Schedule @p fn to run @p delay ticks from now. */
@@ -186,6 +208,12 @@ class EventQueue
 
     /** Eager tombstone compaction passes run so far. */
     std::uint64_t compactions() const { return compactions_; }
+
+    /**
+     * Process-unique id minted at construction (0 in NDEBUG builds);
+     * pairs with detail::queueAlive() for use-after-destroy detection.
+     */
+    std::uint64_t debugEpoch() const { return epoch_; }
 
     /** Events that entered through the timer wheel / the binary heap. */
     std::uint64_t wheelScheduled() const { return wheelScheduled_; }
@@ -261,6 +289,9 @@ class EventQueue
             records_[slot].scheduled && !records_[slot].cancelled;
     }
 
+    /** See debugEpoch(). Assigned in the constructor, debug builds only. */
+    std::uint64_t epoch_ = 0;
+
     std::vector<Record> records_;
     std::uint32_t freeHead_ = kNoSlot;
 
@@ -290,14 +321,21 @@ class EventQueue
 inline void
 EventHandle::cancel()
 {
-    if (queue_)
-        queue_->cancelEvent(slot_, gen_);
+    if (!queue_)
+        return;
+    assert(detail::queueAlive(queue_, queueEpoch_) &&
+           "EventHandle::cancel() after its EventQueue was destroyed");
+    queue_->cancelEvent(slot_, gen_);
 }
 
 inline bool
 EventHandle::pending() const
 {
-    return queue_ && queue_->eventPending(slot_, gen_);
+    if (!queue_)
+        return false;
+    assert(detail::queueAlive(queue_, queueEpoch_) &&
+           "EventHandle::pending() after its EventQueue was destroyed");
+    return queue_->eventPending(slot_, gen_);
 }
 
 } // namespace apc::sim

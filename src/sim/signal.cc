@@ -15,22 +15,32 @@ Signal::applyEdge(bool v)
     else
         ++falling_;
     // Dispatch in place over a snapshot of the current length — no
-    // per-edge copy of the observer list. Observers subscribed during
-    // dispatch land past `n` and miss this edge; observers unsubscribed
-    // during dispatch are tombstoned (id 0) and skipped, with the
-    // physical erase deferred until the outermost dispatch unwinds so a
-    // self-unsubscribing callback is never destroyed mid-call.
+    // per-edge copy of the observer list. subs_ must not reallocate
+    // while a callable stored inline in it is executing, so both list
+    // mutations are deferred mid-dispatch: observers subscribed during
+    // dispatch are parked in pendingAdds_ (they miss every edge
+    // delivered before the outermost dispatch unwinds), and observers
+    // unsubscribed during dispatch are tombstoned (id 0) and skipped,
+    // so a self-unsubscribing callback is never destroyed mid-call.
     const std::size_t n = subs_.size();
     ++dispatchDepth_;
     for (std::size_t i = 0; i < n; ++i) {
         if (subs_[i].id != 0)
             subs_[i].fn(v);
     }
-    if (--dispatchDepth_ == 0 && pendingRemoval_) {
-        subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
-                                   [](const Sub &s) { return s.id == 0; }),
-                    subs_.end());
-        pendingRemoval_ = false;
+    if (--dispatchDepth_ == 0) {
+        if (pendingRemoval_) {
+            subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
+                                       [](const Sub &s) { return s.id == 0; }),
+                        subs_.end());
+            pendingRemoval_ = false;
+        }
+        if (!pendingAdds_.empty()) {
+            subs_.insert(subs_.end(),
+                         std::make_move_iterator(pendingAdds_.begin()),
+                         std::make_move_iterator(pendingAdds_.end()));
+            pendingAdds_.clear();
+        }
     }
 }
 
@@ -61,7 +71,11 @@ std::uint64_t
 Signal::subscribe(SignalObserver fn)
 {
     const std::uint64_t id = nextSub_++;
-    subs_.push_back(Sub{id, std::move(fn)});
+    // A push_back during dispatch could reallocate subs_ out from under
+    // the inline callable currently executing; park the new observer
+    // until the outermost dispatch unwinds.
+    auto &dst = dispatchDepth_ > 0 ? pendingAdds_ : subs_;
+    dst.push_back(Sub{id, std::move(fn)});
     return id;
 }
 
@@ -72,8 +86,16 @@ Signal::unsubscribe(std::uint64_t id)
         return;
     auto it = std::find_if(subs_.begin(), subs_.end(),
                            [id](const Sub &s) { return s.id == id; });
-    if (it == subs_.end())
+    if (it == subs_.end()) {
+        // Not yet merged: subscribed and unsubscribed within the same
+        // dispatch. pendingAdds_ is never iterated mid-dispatch, so a
+        // direct erase is safe.
+        auto pit = std::find_if(pendingAdds_.begin(), pendingAdds_.end(),
+                                [id](const Sub &s) { return s.id == id; });
+        if (pit != pendingAdds_.end())
+            pendingAdds_.erase(pit);
         return;
+    }
     if (dispatchDepth_ > 0) {
         it->id = 0;
         pendingRemoval_ = true;

@@ -72,8 +72,12 @@ class Signal
     /**
      * Subscribe to edges. @return a subscription id for unsubscribe().
      * Observers must not destroy the signal from inside the callback.
-     * Observers subscribed from inside a callback do not see the edge
-     * being dispatched.
+     * Safe to call from inside an observer callback: because the
+     * observer list must not reallocate while one of its inline
+     * callables is executing, a mid-dispatch subscription is parked and
+     * merged only after the outermost dispatch unwinds — the new
+     * observer sees no edge dispatched before then (including nested
+     * edges raised by other observers of the one being dispatched).
      */
     std::uint64_t subscribe(SignalObserver fn);
 
@@ -82,6 +86,13 @@ class Signal
      * to call from inside an observer callback (including
      * self-unsubscription): the entry stops receiving edges immediately
      * but is physically erased only after the dispatch unwinds.
+     *
+     * "Immediately" includes the edge currently being dispatched: an
+     * observer unsubscribed by a peer observer that runs earlier in the
+     * same dispatch does NOT receive the in-flight edge. (The pre-pool
+     * copy-based dispatch still delivered that edge; no in-tree
+     * component unsubscribes a peer mid-dispatch — pll_farm's
+     * self-unsubscribe is unaffected either way.)
      */
     void unsubscribe(std::uint64_t id);
 
@@ -108,6 +119,8 @@ class Signal
     std::uint64_t rising_ = 0;
     std::uint64_t falling_ = 0;
     std::vector<Sub> subs_;
+    /** Observers subscribed mid-dispatch, merged when dispatch unwinds. */
+    std::vector<Sub> pendingAdds_;
     int dispatchDepth_ = 0;
     bool pendingRemoval_ = false;
 };

@@ -36,9 +36,10 @@ Histogram::record(double v, std::uint64_t weight)
 {
     if (weight == 0)
         return;
-    if (std::isnan(v)) {
+    if (!std::isfinite(v)) {
         // Every ordered comparison on NaN is false, so it would land in
-        // the underflow bin and silently poison sum/mean; reject it.
+        // the underflow bin; NaN and ±inf alike would poison
+        // sum/mean/min/max forever. Reject both.
         nanCount_ += weight;
         return;
     }

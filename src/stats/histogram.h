@@ -33,18 +33,19 @@ class Histogram
 
     /**
      * Record one sample. Non-positive samples count into the underflow;
-     * NaN samples are rejected (tracked in nanCount(), excluded from
-     * count/sum/quantiles).
+     * non-finite samples (NaN, ±inf — either would poison
+     * sum/mean/min/max) are rejected (tracked in nanCount(), excluded
+     * from count/sum/quantiles).
      */
     void record(double v) { record(v, 1); }
 
     /** Record a sample with an integer weight. */
     void record(double v, std::uint64_t weight);
 
-    /** Number of recorded samples (including weights; excludes NaNs). */
+    /** Number of recorded samples (including weights; excludes NaN/inf). */
     std::uint64_t count() const { return count_; }
 
-    /** Rejected NaN samples (weighted). */
+    /** Rejected non-finite samples, NaN or ±inf (weighted). */
     std::uint64_t nanCount() const { return nanCount_; }
 
     /** Sum of recorded samples (weighted). */

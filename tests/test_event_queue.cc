@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -289,6 +290,39 @@ TEST(EventQueue, HandleInvalidationAfterGenerationReuse)
     q.runAll();
     EXPECT_EQ(second, 1);
 }
+
+TEST(EventQueue, DebugLivenessRegistryMatchesOnEpoch)
+{
+    // (After-destroy detection end-to-end is the death test below;
+    // probing a literal freed pointer here would itself be UB.)
+    auto q = std::make_unique<EventQueue>();
+    const std::uint64_t epoch = q->debugEpoch();
+    EXPECT_TRUE(detail::queueAlive(q.get(), epoch));
+#ifndef NDEBUG
+    // Epochs are process-unique, so a different queue — even one the
+    // allocator later places at a destroyed queue's address — can
+    // never satisfy a stale handle's probe (the ABA case fleet sweeps
+    // hit when recycling same-sized per-server Simulations).
+    auto q2 = std::make_unique<EventQueue>();
+    EXPECT_NE(q2->debugEpoch(), epoch);
+    EXPECT_FALSE(detail::queueAlive(q2.get(), epoch));
+    EXPECT_FALSE(detail::queueAlive(q.get(), q2->debugEpoch()));
+#endif
+}
+
+#ifndef NDEBUG
+// Handles hold a raw EventQueue*; operating on one after the queue is
+// gone is a teardown-order bug. Debug builds must trip the liveness
+// assert instead of dereferencing freed memory.
+TEST(EventQueueDeathTest, HandleUseAfterQueueDestroyedAsserts)
+{
+    auto q = std::make_unique<EventQueue>();
+    auto h = q->scheduleAt(5, [] {});
+    q.reset();
+    EXPECT_DEATH(h.cancel(), "EventQueue was destroyed");
+    EXPECT_DEATH((void)h.pending(), "EventQueue was destroyed");
+}
+#endif
 
 TEST(EventQueue, CancelRescheduleKeepsMemoryBounded)
 {

@@ -263,6 +263,24 @@ TEST(Histogram, NanSamplesAreRejectedAndCounted)
     EXPECT_NE(csv.find("nan,nan,4\n"), std::string::npos) << csv;
 }
 
+TEST(Histogram, InfiniteSamplesAreRejectedAndCounted)
+{
+    // ±inf passes an isnan check but poisons sum/mean/min/max just the
+    // same (one +inf makes mean() inf forever; +inf after -inf makes
+    // sum_ NaN); record() rejects all non-finite samples.
+    Histogram h(1.0, 1e6, 32);
+    h.record(10.0);
+    h.record(std::numeric_limits<double>::infinity());
+    h.record(-std::numeric_limits<double>::infinity(), 2);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.nanCount(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(h.minSample(), 10.0);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 10.0);
+    const std::string csv = h.toCsv();
+    EXPECT_NE(csv.find("nan,nan,3\n"), std::string::npos) << csv;
+}
+
 TEST(Histogram, NanCountSurvivesMergeAndClear)
 {
     Histogram a(1.0, 1e6, 32), b(1.0, 1e6, 32);
