@@ -1,81 +1,91 @@
 #include "fleet/dispatch.h"
 
+#include <algorithm>
+
 namespace apc::fleet {
-namespace {
 
-bool
-isBanned(const std::vector<bool> &banned, std::size_t i)
+// ----------------------------------------------------------------- MinIndex
+
+void
+MinIndex::assign(const std::vector<std::uint32_t> &values)
 {
-    return !banned.empty() && banned[i];
+    n_ = values.size();
+    base_ = 1;
+    while (base_ < n_)
+        base_ <<= 1;
+    t_.assign(2 * base_, kInf); // padding leaves stay at infinity
+    std::copy(values.begin(), values.end(), t_.begin() + base_);
+    for (std::size_t i = base_; i-- > 1;)
+        t_[i] = std::min(t_[2 * i], t_[2 * i + 1]);
 }
 
-/** Lowest-index server with the smallest outstanding count. */
-std::size_t
-shortestQueue(const std::vector<std::uint32_t> &outstanding,
-              const std::vector<bool> &banned)
+void
+MinIndex::set(std::size_t i, std::uint32_t v)
 {
-    std::size_t best = 0;
-    std::uint32_t best_q = UINT32_MAX;
-    bool found = false;
-    for (std::size_t i = 0; i < outstanding.size(); ++i) {
-        if (isBanned(banned, i))
-            continue;
-        if (!found || outstanding[i] < best_q) {
-            best = i;
-            best_q = outstanding[i];
-            found = true;
-        }
+    i += base_;
+    t_[i] = v;
+    for (i >>= 1; i >= 1; i >>= 1) {
+        const std::uint32_t m = std::min(t_[2 * i], t_[2 * i + 1]);
+        if (t_[i] == m)
+            break;
+        t_[i] = m;
     }
-    return found ? best : 0;
 }
 
-} // namespace
+std::size_t
+MinIndex::argmin() const
+{
+    if (n_ == 0)
+        return npos;
+    std::size_t node = 1;
+    // <= prefers the left child on ties: lowest index wins, exactly
+    // like a left-to-right scan.
+    while (node < base_)
+        node = t_[2 * node] <= t_[2 * node + 1] ? 2 * node
+                                                : 2 * node + 1;
+    return node - base_;
+}
 
 std::size_t
-RoundRobinDispatcher::pick(const std::vector<std::uint32_t> &outstanding,
-                           const std::vector<bool> &banned)
+MinIndex::firstUnder(std::uint32_t bound) const
 {
-    const std::size_t n = outstanding.size();
-    for (std::size_t tries = 0; tries < n; ++tries) {
+    if (n_ == 0 || t_[1] >= bound)
+        return npos;
+    std::size_t node = 1;
+    while (node < base_)
+        node = t_[2 * node] < bound ? 2 * node : 2 * node + 1;
+    return node - base_;
+}
+
+// --------------------------------------------------------------- policies
+
+std::size_t
+RoundRobinDispatcher::pick()
+{
+    for (std::size_t tries = 0; tries < n_; ++tries) {
         const std::size_t i = next_;
-        next_ = (next_ + 1) % n;
-        if (!isBanned(banned, i))
+        next_ = (next_ + 1) % n_;
+        if (std::find(excluded_.begin(), excluded_.end(), i)
+                == excluded_.end())
             return i;
     }
-    return 0; // everything banned; caller guarantees this can't matter
-}
-
-std::size_t
-LeastOutstandingDispatcher::pick(
-    const std::vector<std::uint32_t> &outstanding,
-    const std::vector<bool> &banned)
-{
-    return shortestQueue(outstanding, banned);
-}
-
-std::size_t
-PackingDispatcher::pick(const std::vector<std::uint32_t> &outstanding,
-                        const std::vector<bool> &banned)
-{
-    for (std::size_t i = 0; i < outstanding.size(); ++i)
-        if (!isBanned(banned, i) && outstanding[i] < budget_)
-            return i;
-    return shortestQueue(outstanding, banned);
+    return 0; // everything excluded; caller guarantees this can't matter
 }
 
 std::unique_ptr<Dispatcher>
-makeDispatcher(DispatchKind kind, std::size_t /*num_servers*/,
+makeDispatcher(DispatchKind kind, std::size_t num_servers,
                std::uint32_t pack_budget)
 {
     switch (kind) {
       case DispatchKind::RoundRobin:
-        return std::make_unique<RoundRobinDispatcher>();
+        return std::make_unique<RoundRobinDispatcher>(num_servers);
       case DispatchKind::LeastOutstanding:
-        return std::make_unique<LeastOutstandingDispatcher>();
+        return std::make_unique<LeastOutstandingDispatcher>(num_servers);
       case DispatchKind::PowerAwarePacking:
-        return std::make_unique<PackingDispatcher>(pack_budget);
+        return std::make_unique<PackingDispatcher>(num_servers,
+                                                   pack_budget);
     }
-    return std::make_unique<RoundRobinDispatcher>();
+    return std::make_unique<RoundRobinDispatcher>(num_servers);
 }
 
 } // namespace apc::fleet

@@ -4,7 +4,8 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
-#include <tuple>
+
+#include "stats/reduce.h"
 
 namespace apc::fleet {
 
@@ -19,6 +20,11 @@ mixSeed(std::uint64_t seed, std::uint64_t stream)
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
     return z ^ (z >> 31);
 }
+
+/** Leaf width of the report's histogram reduction. A constant (never
+ *  the thread or shard count) so the reduction shape — and with it
+ *  every merged statistic — is identical for any parallelism. */
+constexpr std::size_t kReduceLeaf = 64;
 
 } // namespace
 
@@ -69,13 +75,18 @@ FleetReport::writeCsv(std::FILE *out, bool with_header) const
 
 FleetSim::FleetSim(FleetConfig cfg)
     : cfg_(std::move(cfg)),
+      layout_(ShardLayout::make(
+          cfg_.numServers, cfg_.shardSize,
+          std::min<unsigned>(cfg_.threads,
+                             static_cast<unsigned>(cfg_.numServers)))),
       pool_(std::min<unsigned>(cfg_.threads,
                                static_cast<unsigned>(cfg_.numServers)))
 {
     assert(cfg_.numServers > 0);
     servers_.reserve(cfg_.numServers);
-    completions_.resize(cfg_.numServers);
-    drops_.resize(cfg_.numServers);
+    // Slots are sized once and never reallocated: the server hooks
+    // installed below keep raw pointers into this vector.
+    slots_ = std::vector<ShardSlot>(layout_.numShards);
     for (std::size_t i = 0; i < cfg_.numServers; ++i) {
         server::ServerConfig sc;
         sc.policy = cfg_.policy;
@@ -90,18 +101,17 @@ FleetSim::FleetSim(FleetConfig cfg)
             sc.cap.enabled = true; // the allocator needs enforcement
         servers_.push_back(
             std::make_unique<server::ServerSim>(std::move(sc)));
-        auto &buf = completions_[i];
+        ShardSlot *slot = &slots_[layout_.shardOf(i)];
+        const auto srv = static_cast<std::uint32_t>(i);
         servers_[i]->onCompletion(
-            [&buf](std::uint64_t id, sim::Tick done) {
-                buf.emplace_back(id, done);
+            [slot, srv](std::uint64_t id, sim::Tick done) {
+                slot->completions.push_back({done, srv, id});
             });
-        if (cfg_.nic.enabled) {
-            auto &dbuf = drops_[i];
+        if (cfg_.nic.enabled)
             servers_[i]->onRxDrop(
-                [&dbuf](std::uint64_t id, sim::Tick at) {
-                    dbuf.emplace_back(id, at);
+                [slot, srv](std::uint64_t id, sim::Tick at) {
+                    slot->drops.push_back({at, srv, id});
                 });
-        }
     }
     traffic_ = std::make_unique<TrafficSource>(
         cfg_.traffic, mixSeed(cfg_.seed, 0xF1EE7));
@@ -131,17 +141,15 @@ FleetSim::FleetSim(FleetConfig cfg)
     }
     dispatcher_ = makeDispatcher(cfg_.dispatch, cfg_.numServers, budget);
     lbView_.assign(cfg_.numServers, 0);
-    banned_.assign(cfg_.numServers, false);
+    inFlight_.reserve(1024);
 }
 
 FleetSim::~FleetSim() = default;
 
 bool
-FleetSim::sendReplica(sim::Tick at, sim::Tick service, std::size_t srv,
-                      std::uint64_t id)
+FleetSim::transit(sim::Tick at, std::size_t srv, sim::Tick &deliver)
 {
-    server::ServerSim *s = servers_[srv].get();
-    sim::Tick deliver = at;
+    deliver = at;
     if (fabric_) {
         const auto tr = fabric_->toServer(at, srv);
         netRetransmits_ += static_cast<std::uint64_t>(tr.retransmits);
@@ -149,17 +157,28 @@ FleetSim::sendReplica(sim::Tick at, sim::Tick service, std::size_t srv,
             return false;
         deliver = tr.deliverAt;
     }
-    s->sim().at(deliver, [s, id, service] { s->inject(id, service); });
     return true;
+}
+
+void
+FleetSim::scheduleInject(std::size_t srv, sim::Tick deliver,
+                         std::uint64_t id, sim::Tick service)
+{
+    server::ServerSim *s = servers_[srv].get();
+    s->sim().at(deliver, [s, id, service] { s->inject(id, service); });
 }
 
 bool
 FleetSim::routeReplica(sim::Tick at, sim::Tick service, std::size_t srv,
                        std::uint64_t id)
 {
-    ++lbView_[srv];
     ++replicasDispatched_;
-    return sendReplica(at, service, srv, id);
+    sim::Tick deliver;
+    if (!transit(at, srv, deliver))
+        return false;
+    slots_[layout_.shardOf(srv)].injects.push_back(
+        {deliver, service, static_cast<std::uint32_t>(srv), id});
+    return true;
 }
 
 void
@@ -185,13 +204,15 @@ void
 FleetSim::dispatchEpoch(sim::Tick from, sim::Tick to)
 {
     // Fresh backend view at the epoch boundary; in-epoch dispatches are
-    // layered on top as they happen.
+    // layered on top (onDispatch) as they happen.
     for (std::size_t i = 0; i < servers_.size(); ++i)
         lbView_[i] = static_cast<std::uint32_t>(
             std::min<std::uint64_t>(servers_[i]->outstanding(),
                                     UINT32_MAX));
+    dispatcher_->refresh(lbView_);
 
-    for (const TrafficEvent &ev : traffic_->epoch(from, to)) {
+    traffic_->epoch(from, to, trafficScratch_);
+    for (const TrafficEvent &ev : trafficScratch_) {
         const std::uint64_t id = nextId_++;
         Flight fl;
         fl.arrival = ev.at;
@@ -203,7 +224,8 @@ FleetSim::dispatchEpoch(sim::Tick from, sim::Tick to)
         if (fl.measured)
             ++dispatched_;
         if (ev.fanout <= 1) {
-            const std::size_t srv = dispatcher_->pick(lbView_, noBan_);
+            const std::size_t srv = dispatcher_->pick();
+            dispatcher_->onDispatch(srv);
             if (routeReplica(ev.at, ev.service, srv, id))
                 ++fl.remaining;
             else
@@ -211,18 +233,18 @@ FleetSim::dispatchEpoch(sim::Tick from, sim::Tick to)
         } else {
             // Fanout replicas land on distinct servers (capped at the
             // fleet size): the slowest replica gates completion.
-            std::fill(banned_.begin(), banned_.end(), false);
             const int replicas = std::min<int>(
                 ev.fanout, static_cast<int>(servers_.size()));
             for (int k = 0; k < replicas; ++k) {
-                const std::size_t srv = dispatcher_->pick(lbView_,
-                                                          banned_);
-                banned_[srv] = true;
+                const std::size_t srv = dispatcher_->pick();
+                dispatcher_->onDispatch(srv);
+                dispatcher_->exclude(srv);
                 if (routeReplica(ev.at, ev.service, srv, id))
                     ++fl.remaining;
                 else
                     ++fl.lost;
             }
+            dispatcher_->clearExclusions();
         }
         const auto it = inFlight_.emplace(id, fl).first;
         if (fl.remaining == 0)
@@ -231,11 +253,76 @@ FleetSim::dispatchEpoch(sim::Tick from, sim::Tick to)
 }
 
 void
-FleetSim::advanceServers(sim::Tick to)
+FleetSim::advanceShards(sim::Tick to)
 {
-    pool_.parallelFor(servers_.size(), [this, to](std::size_t i) {
-        servers_[i]->advanceTo(to);
-    });
+    pool_.parallelForRanges(
+        layout_.numShards, [this, to](std::size_t b, std::size_t e) {
+            for (std::size_t sh = b; sh < e; ++sh) {
+                ShardSlot &slot = slots_[sh];
+                // Scheduling the staged injections here — instead of
+                // at route time — pulls each server's event queue into
+                // cache exactly once per epoch, right before this same
+                // worker advances it.
+                for (const PendingInject &pi : slot.injects)
+                    scheduleInject(pi.srv, pi.deliverAt, pi.id,
+                                   pi.service);
+                slot.injects.clear();
+                const std::size_t end = layout_.end(sh);
+                for (std::size_t i = layout_.begin(sh); i < end; ++i)
+                    servers_[i]->advanceTo(to);
+                // Pre-sort the shard's outputs so the single-threaded
+                // merge only pays O(m log shards), not a global sort.
+                std::sort(slot.completions.begin(),
+                          slot.completions.end(), stagedBefore);
+                std::sort(slot.drops.begin(), slot.drops.end(),
+                          stagedBefore);
+            }
+        });
+}
+
+template <typename Apply>
+void
+FleetSim::mergeStaged(std::vector<StagedEvent> ShardSlot::*stream,
+                      Apply &&apply)
+{
+    // K-way merge of the sorted shard streams into one time-ordered
+    // stream: the shared fabric response links (and the flight map)
+    // see events in a total order independent of the shard layout —
+    // the same (time, server, id) order the pre-shard engine got from
+    // globally sorting per-server buffers. The cursor heap is member
+    // scratch: a quiet drain (e.g. drops with NIC off, every epoch)
+    // costs no allocation at all.
+    const auto later = [](const MergeCursor &a, const MergeCursor &b) {
+        return stagedBefore((*b.first)[b.second], (*a.first)[a.second]);
+    };
+
+    std::vector<MergeCursor> &heap = mergeScratch_;
+    heap.clear();
+    for (ShardSlot &slot : slots_)
+        if (!(slot.*stream).empty())
+            heap.push_back({&(slot.*stream), 0});
+    if (heap.empty())
+        return;
+
+    if (heap.size() == 1) {
+        for (const StagedEvent &ev : *heap[0].first)
+            apply(ev);
+        heap[0].first->clear();
+        return;
+    }
+
+    std::make_heap(heap.begin(), heap.end(), later);
+    while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), later);
+        MergeCursor &c = heap.back();
+        apply((*c.first)[c.second]);
+        if (++c.second < c.first->size())
+            std::push_heap(heap.begin(), heap.end(), later);
+        else {
+            c.first->clear();
+            heap.pop_back();
+        }
+    }
 }
 
 void
@@ -267,23 +354,12 @@ FleetSim::finishFlight(FlightMap::iterator it)
 void
 FleetSim::drainCompletions()
 {
-    // Merge per-server buffers into one time-ordered stream so the
-    // shared response links see offers in a deterministic, sensible
-    // order regardless of which thread advanced which server.
-    std::vector<std::tuple<sim::Tick, std::size_t, std::uint64_t>> resp;
-    for (std::size_t i = 0; i < servers_.size(); ++i) {
-        for (const auto &[id, done] : completions_[i])
-            resp.emplace_back(done, i, id);
-        completions_[i].clear();
-    }
-    std::sort(resp.begin(), resp.end());
-
-    for (const auto &[done, srv, id] : resp) {
-        const auto it = inFlight_.find(id);
+    mergeStaged(&ShardSlot::completions, [this](const StagedEvent &ev) {
+        const auto it = inFlight_.find(ev.id);
         assert(it != inFlight_.end());
         Flight &fl = it->second;
         if (fabric_) {
-            const auto tr = fabric_->toClient(done, srv);
+            const auto tr = fabric_->toClient(ev.at, ev.srv);
             netRetransmits_ +=
                 static_cast<std::uint64_t>(tr.retransmits);
             if (tr.lost)
@@ -291,59 +367,54 @@ FleetSim::drainCompletions()
             else
                 fl.lastDone = std::max(fl.lastDone, tr.deliverAt);
         } else {
-            fl.lastDone = std::max(fl.lastDone, done);
+            fl.lastDone = std::max(fl.lastDone, ev.at);
         }
         if (--fl.remaining == 0)
             finishFlight(it);
-    }
+    });
 }
 
 void
 FleetSim::drainNicDrops(sim::Tick now_floor)
 {
-    std::vector<std::tuple<sim::Tick, std::size_t, std::uint64_t>> drops;
-    for (std::size_t i = 0; i < servers_.size(); ++i) {
-        for (const auto &[id, at] : drops_[i])
-            drops.emplace_back(at, i, id);
-        drops_[i].clear();
-    }
-    if (drops.empty())
-        return;
-    std::sort(drops.begin(), drops.end());
-
-    for (const auto &[when, srv, id] : drops) {
-        const auto it = inFlight_.find(id);
+    mergeStaged(&ShardSlot::drops, [this,
+                                    now_floor](const StagedEvent &ev) {
+        const auto it = inFlight_.find(ev.id);
         assert(it != inFlight_.end());
         Flight &fl = it->second;
         // This replica's attempt count (missing entry = the first send
         // already happened).
-        const auto srv_key = static_cast<std::uint32_t>(srv);
         auto entry = std::find_if(
             fl.triesBySrv.begin(), fl.triesBySrv.end(),
-            [srv_key](const auto &e) { return e.first == srv_key; });
+            [&ev](const auto &e) { return e.first == ev.srv; });
         if (entry == fl.triesBySrv.end()) {
-            fl.triesBySrv.emplace_back(srv_key, 1);
+            fl.triesBySrv.emplace_back(ev.srv, 1);
             entry = fl.triesBySrv.end() - 1;
         }
         if (entry->second >= cfg_.fabric.maxTries) {
             ++fl.lost;
             if (--fl.remaining == 0)
                 finishFlight(it);
-            continue;
+            return;
         }
         // Client resend of the tail-dropped replica to the same
         // server after the RTO (floored at the fleet's current epoch
-        // edge: the drop was only observed at the drain point).
+        // edge: the drop was only observed at the drain point). The
+        // resend schedules directly — the servers are quiescent
+        // between epochs, and its bucket was already consumed.
         ++entry->second;
         ++netRetransmits_;
         const sim::Tick at =
-            std::max(when + cfg_.fabric.rto, now_floor);
-        if (!sendReplica(at, fl.service, srv, id)) {
+            std::max(ev.at + cfg_.fabric.rto, now_floor);
+        sim::Tick deliver;
+        if (transit(at, ev.srv, deliver)) {
+            scheduleInject(ev.srv, deliver, ev.id, fl.service);
+        } else {
             ++fl.lost;
             if (--fl.remaining == 0)
                 finishFlight(it);
         }
-    }
+    });
 }
 
 FleetReport
@@ -373,7 +444,7 @@ FleetSim::run()
         const sim::Tick limit = measuring_ ? end : measure_at;
         const sim::Tick t1 = std::min(t + cfg_.epoch, limit);
         dispatchEpoch(t, t1);
-        advanceServers(t1);
+        advanceShards(t1);
         drainCompletions();
         drainNicDrops(t1);
         t = t1;
@@ -383,9 +454,7 @@ FleetSim::run()
     // every server's power average covers exactly [warmup, end]; latch
     // fabric power on the same boundary (drain traffic would otherwise
     // smear busy time into a fixed-length window).
-    perServerResults_.clear();
-    for (auto &s : servers_)
-        perServerResults_.push_back(s->collect());
+    collectServers();
     if (fabric_)
         fabricPowerW_ = fabric_->averagePowerW(cfg_.duration);
 
@@ -393,13 +462,29 @@ FleetSim::run()
     const sim::Tick deadline = end + cfg_.drainLimit;
     while (!inFlight_.empty() && t < deadline) {
         const sim::Tick t1 = std::min(t + cfg_.epoch, deadline);
-        advanceServers(t1);
+        advanceShards(t1);
         drainCompletions();
         drainNicDrops(t1);
         t = t1;
     }
 
     return aggregate();
+}
+
+void
+FleetSim::collectServers()
+{
+    // collect() only touches its own server's state, so shards can
+    // gather in parallel — at 10k servers the sequential gather
+    // (histogram copies, residency walks) serialized the end of every
+    // sweep.
+    perServerResults_.resize(servers_.size());
+    pool_.parallelForRanges(
+        layout_.numShards, [this](std::size_t b, std::size_t e) {
+            const std::size_t end = layout_.end(e - 1);
+            for (std::size_t i = layout_.begin(b); i < end; ++i)
+                perServerResults_[i] = servers_[i]->collect();
+        });
 }
 
 FleetReport
@@ -424,6 +509,9 @@ FleetSim::aggregate()
     rep.perServer = perServerResults_;
     const double n = static_cast<double>(servers_.size());
     rep.capEnabled = cfg_.cap.enabled || cfg_.budget.enabled;
+    // Scalar folds stay sequential and in server order: they are O(1)
+    // per server, and keeping the old summation order keeps every
+    // floating-point total bit-identical to the unsharded engine.
     for (const auto &r : perServerResults_) {
         rep.pkgPowerW += r.pkgPowerW;
         rep.dramPowerW += r.dramPowerW;
@@ -435,14 +523,35 @@ FleetSim::aggregate()
         rep.avgUtilization += r.utilization / n;
         for (std::size_t s = 0; s < soc::kNumPkgStates; ++s)
             rep.pkgResidency[s] += r.pkgResidency[s] / n;
-        rep.replicaLatencyUs.merge(r.latencyHistUs);
         rep.replicaLatencySummary.merge(r.latencySummary);
-        rep.idlePeriodsUs.merge(r.idlePeriodsUs);
         rep.nicInterrupts += r.nicInterrupts;
         rep.nicRxDrops += r.nicRxDrops;
         rep.nicPktsPerIrq.merge(r.nicPktsPerIrq);
         rep.nicWakeUs.merge(r.nicWakeUs);
     }
+    // The O(servers x buckets) histogram merges run as a fixed-shape
+    // parallel tree reduction: leaves of kReduceLeaf servers (a
+    // constant, so the shape — and the merged result — is independent
+    // of thread and shard count), folded in leaf order.
+    struct HistAcc
+    {
+        stats::Histogram replica{0.1, 1e7, 64};
+        stats::Histogram idle{0.01, 1e7, 32};
+    };
+    HistAcc acc = stats::reduceFixed(
+        perServerResults_.size(), kReduceLeaf, HistAcc{},
+        [this](HistAcc &a, std::size_t i) {
+            a.replica.merge(perServerResults_[i].latencyHistUs);
+            a.idle.merge(perServerResults_[i].idlePeriodsUs);
+        },
+        [](HistAcc &a, const HistAcc &b) {
+            a.replica.merge(b.replica);
+            a.idle.merge(b.idle);
+        },
+        [this](std::size_t m, auto &&fn) { pool_.parallelFor(m, fn); });
+    rep.replicaLatencyUs = std::move(acc.replica);
+    rep.idlePeriodsUs = std::move(acc.idle);
+
     if (fabric_) {
         rep.fabricStats = fabric_->stats();
         rep.fabricPowerW = fabricPowerW_;

@@ -1,22 +1,34 @@
 /**
  * @file
- * Multi-server fleet simulation.
+ * Multi-server fleet simulation, sharded execution engine.
  *
  * Instantiates N independent ServerSim instances (each with its own
  * event queue and RNG stream) behind a configurable load balancer and
- * drives them with cluster-level traffic. The fleet advances the
- * servers in lockstep epochs: at each epoch boundary it generates the
- * epoch's arrivals (TrafficSource), routes every request — or each
- * replica of a fanout request — through the dispatch policy, schedules
- * the injections into the target servers' event queues, then runs all
- * servers to the epoch end in parallel on a thread pool. Because
- * servers share no state inside an epoch and all cross-server
- * bookkeeping happens single-threaded between epochs, runs are
- * deterministic for a given seed regardless of thread count.
+ * drives them with cluster-level traffic in lockstep epochs. The fleet
+ * is partitioned into contiguous **shards** of servers; each epoch runs
+ * as a pipeline:
  *
- * The dispatcher sees outstanding counts refreshed at epoch boundaries
- * plus its own in-epoch dispatches — the slightly stale view a real
- * load balancer has of its backends.
+ *   1. *Route* (single-threaded): generate the epoch's arrivals
+ *      (TrafficSource), pick a server per replica (O(log n) indexed
+ *      dispatch), run fabric transit, and bucket the resulting
+ *      injections into per-shard staging slots.
+ *   2. *Advance* (parallel, one worker per shard): schedule the shard's
+ *      staged injections into its servers' event queues, advance the
+ *      shard's servers to the epoch end, and stage their completions
+ *      and NIC drops — sorted — into the shard's slot. Slots are
+ *      cache-line aligned and single-writer, so workers never contend.
+ *   3. *Merge* (single-threaded): k-way-merge the sorted shard outputs
+ *      into one (time, server, id)-ordered stream and apply it —
+ *      response fabric transit, flight completion, client resends of
+ *      NIC drops.
+ *
+ * Because routing and merging are single-threaded and the merge order
+ * is a total order independent of the partitioning, reports are
+ * **bit-identical across any thread count and any shard size** — the
+ * invariant every determinism test enforces. The dispatcher sees
+ * outstanding counts refreshed at epoch boundaries plus its own
+ * in-epoch dispatches — the slightly stale view a real load balancer
+ * has of its backends.
  */
 
 #ifndef APC_FLEET_FLEET_SIM_H
@@ -32,6 +44,7 @@
 
 #include "cap/budget.h"
 #include "fleet/dispatch.h"
+#include "fleet/shard.h"
 #include "fleet/thread_pool.h"
 #include "fleet/traffic.h"
 #include "net/fabric.h"
@@ -108,8 +121,15 @@ struct FleetConfig
     sim::Tick drainLimit = 2 * sim::kSec;
 
     std::uint64_t seed = 42;
-    /** Worker threads for the per-epoch server advance; <=1 = inline. */
+    /** Worker threads for the per-epoch parallel phase; <=1 = inline. */
     unsigned threads = 1;
+
+    /**
+     * Servers per shard; 0 picks one automatically from the thread
+     * count (see ShardLayout::make). Results never depend on it — it
+     * only tunes the parallelism grain.
+     */
+    std::size_t shardSize = 0;
 };
 
 /** Aggregated fleet metrics. */
@@ -249,6 +269,9 @@ class FleetSim
     std::size_t numServers() const { return servers_.size(); }
     server::ServerSim &server(std::size_t i) { return *servers_[i]; }
 
+    /** The shard partitioning in effect (auto or configured). */
+    const ShardLayout &shards() const { return layout_; }
+
   private:
     struct Flight
     {
@@ -270,23 +293,36 @@ class FleetSim
 
     /** Rack->server budget reallocation at a budget-epoch boundary. */
     void allocateBudgets(sim::Tick now);
+    /** Phase 1: route the epoch's arrivals into per-shard buckets. */
     void dispatchEpoch(sim::Tick from, sim::Tick to);
     /** @return false if the replica was lost in the fabric. */
     bool routeReplica(sim::Tick at, sim::Tick service, std::size_t srv,
                       std::uint64_t id);
-    /** Fabric transit + inject scheduling for one replica send;
-     *  shared by first sends and NIC-drop resends. */
-    bool sendReplica(sim::Tick at, sim::Tick service, std::size_t srv,
-                     std::uint64_t id);
-    void advanceServers(sim::Tick to);
+    /** Fabric transit for one replica send; shared by first sends and
+     *  NIC-drop resends. @return false if lost, else sets @p deliver. */
+    bool transit(sim::Tick at, std::size_t srv, sim::Tick &deliver);
+    /** Schedule one injection directly into @p srv's event queue. */
+    void scheduleInject(std::size_t srv, sim::Tick deliver,
+                        std::uint64_t id, sim::Tick service);
+    /** Phase 2: per shard (parallel) — schedule staged injections,
+     *  advance the shard's servers to @p to, sort staged outputs. */
+    void advanceShards(sim::Tick to);
+    /** Phase 3 merges: apply one staged stream across all shards in
+     *  (time, server, id) order; consumed streams are cleared. */
+    template <typename Apply>
+    void mergeStaged(std::vector<StagedEvent> ShardSlot::*stream,
+                     Apply &&apply);
     void drainCompletions();
     /** Client-side retransmission of NIC ring drops. */
     void drainNicDrops(sim::Tick now_floor);
     /** All replicas resolved: record latency or loss, erase. */
     void finishFlight(FlightMap::iterator it);
+    /** Parallel per-shard ServerSim::collect into perServerResults_. */
+    void collectServers();
     FleetReport aggregate();
 
     FleetConfig cfg_;
+    ShardLayout layout_;
     std::vector<std::unique_ptr<server::ServerSim>> servers_;
     std::unique_ptr<TrafficSource> traffic_;
     std::unique_ptr<Dispatcher> dispatcher_;
@@ -295,23 +331,23 @@ class FleetSim
     sim::Tick nextAllocAt_ = 0;
     ThreadPool pool_;
 
-    /** LB view: epoch-boundary outstanding + own in-epoch dispatches. */
+    /** Epoch-boundary outstanding counts (dispatcher refresh source). */
     std::vector<std::uint32_t> lbView_;
-    std::vector<bool> banned_;
-    const std::vector<bool> noBan_{};
+
+    /** Per-shard staging slots (stable addresses: server hooks point
+     *  into them). */
+    std::vector<ShardSlot> slots_;
+
+    /** Reused arrival scratch for TrafficSource::epoch. */
+    std::vector<TrafficEvent> trafficScratch_;
+
+    /** Reused k-way-merge cursor heap: (stream, position). */
+    using MergeCursor = std::pair<std::vector<StagedEvent> *, std::size_t>;
+    std::vector<MergeCursor> mergeScratch_;
 
     /** Per-server results collected at the end of the measurement
      *  window (before the drain tail, so power windows line up). */
     std::vector<server::ServerResult> perServerResults_;
-
-    /** Per-server completion buffers (only touched by that server's
-     *  thread during an advance; drained single-threaded after). */
-    std::vector<std::vector<std::pair<std::uint64_t, sim::Tick>>>
-        completions_;
-
-    /** Per-server NIC RX-drop buffers (same threading discipline). */
-    std::vector<std::vector<std::pair<std::uint64_t, sim::Tick>>>
-        drops_;
 
     FlightMap inFlight_;
     std::uint64_t nextId_ = 0;

@@ -85,6 +85,15 @@ std::vector<TrafficEvent>
 TrafficSource::epoch(sim::Tick from, sim::Tick to)
 {
     std::vector<TrafficEvent> out;
+    epoch(from, to, out);
+    return out;
+}
+
+void
+TrafficSource::epoch(sim::Tick from, sim::Tick to,
+                     std::vector<TrafficEvent> &out)
+{
+    out.clear();
     if (next_ < 0)
         next_ = nextArrivalAfter(from);
     while (next_ < to) {
@@ -106,7 +115,6 @@ TrafficSource::epoch(sim::Tick from, sim::Tick to)
         }
         next_ = nextArrivalAfter(next_);
     }
-    return out;
 }
 
 } // namespace apc::fleet

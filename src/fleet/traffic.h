@@ -102,6 +102,14 @@ class TrafficSource
      */
     std::vector<TrafficEvent> epoch(sim::Tick from, sim::Tick to);
 
+    /**
+     * Same, appended into @p out (cleared first). The fleet loop calls
+     * this thousands of times per run with a reused scratch vector, so
+     * the per-epoch allocation of the return-by-value flavor matters.
+     */
+    void epoch(sim::Tick from, sim::Tick to,
+               std::vector<TrafficEvent> &out);
+
     /** Mean service demand in ticks (CDF table or 0 if server-sampled). */
     sim::Tick meanServiceTicks() const;
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cap/power_cap.h"
+#include "sim/inline_function.h"
 #include "cpu/pstate.h"
 #include "net/nic.h"
 #include "power/rapl.h"
@@ -220,10 +221,13 @@ class ServerSim
      * passed to inject() and the completion time on this server's
      * clock. Runs inside this server's event loop: when a fleet
      * advances servers on worker threads, the hook must only touch
-     * state owned by this server.
+     * state owned by this server (e.g. its shard's staging slot).
+     * Inline small-buffer callable: the hook fires once per completed
+     * request across the whole fleet, so it must not cost a heap
+     * allocation to install or an std::function dispatch to call.
      */
     using CompletionFn =
-        std::function<void(std::uint64_t id, sim::Tick done)>;
+        sim::InplaceFunction<void(std::uint64_t id, sim::Tick done), 32>;
 
     /**
      * Called when the NIC RX ring tail-drops an injected request (NIC
@@ -231,7 +235,7 @@ class ServerSim
      * it to drive client retransmission.
      */
     using RxDropFn =
-        std::function<void(std::uint64_t id, sim::Tick at)>;
+        sim::InplaceFunction<void(std::uint64_t id, sim::Tick at), 32>;
 
     explicit ServerSim(ServerConfig cfg);
     ~ServerSim();

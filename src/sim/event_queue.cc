@@ -125,7 +125,9 @@ EventQueue::prepareSchedule(Tick when)
 
     const Ref ref{when, rec.seq, slot};
     if (when >= wheelNext_ && when - wheelNext_ < kWheelSpan) {
-        buckets_[bucketIndex(when)].push_back(ref);
+        const std::size_t b = bucketIndex(when);
+        buckets_[b].push_back(ref);
+        occupied_[b >> 6] |= std::uint64_t(1) << (b & 63);
         ++wheelCount_;
         ++wheelScheduled_;
     } else {
@@ -154,9 +156,21 @@ EventQueue::cancelEvent(std::uint32_t slot, std::uint32_t gen)
 void
 EventQueue::loadNextBucket()
 {
-    std::vector<Ref> &bucket = buckets_[bucketIndex(wheelNext_)];
     run_.clear();
     runPos_ = 0;
+    std::size_t b = bucketIndex(wheelNext_);
+    if (buckets_[b].empty()) {
+        // Skip the empty stretch in one hop. Only called with
+        // wheelCount_ > 0, so an occupied bucket exists; it may still
+        // land on a stale-set empty bucket (compaction), in which case
+        // the caller's loop just hops again.
+        occupied_[b >> 6] &= ~(std::uint64_t(1) << (b & 63));
+        const std::size_t d = nextOccupiedDistance(b);
+        wheelNext_ += static_cast<Tick>(d) * kBucketTicks;
+        b = (b + d) & (kNumBuckets - 1);
+    }
+    std::vector<Ref> &bucket = buckets_[b];
+    occupied_[b >> 6] &= ~(std::uint64_t(1) << (b & 63));
     if (!bucket.empty()) {
         run_.swap(bucket);
         wheelCount_ -= run_.size();
@@ -169,6 +183,30 @@ EventQueue::loadNextBucket()
                       });
     }
     wheelNext_ += kBucketTicks;
+}
+
+std::size_t
+EventQueue::nextOccupiedDistance(std::size_t from) const
+{
+    constexpr std::size_t kWords = kNumBuckets / 64;
+    std::size_t word = from >> 6;
+    const std::size_t bit = from & 63;
+    // Bits strictly after `from` in its word, then whole words,
+    // circularly (the wrap revisit of the first word is harmless: any
+    // bit found maps to a correct circular distance).
+    std::uint64_t w = bit == 63
+        ? 0
+        : occupied_[word] & (~std::uint64_t(0) << (bit + 1));
+    for (std::size_t step = 0; step <= kWords; ++step) {
+        if (w != 0) {
+            const std::size_t idx = (word << 6) |
+                static_cast<std::size_t>(__builtin_ctzll(w));
+            return (idx + kNumBuckets - from) & (kNumBuckets - 1);
+        }
+        word = (word + 1) & (kWords - 1);
+        w = occupied_[word];
+    }
+    return 1; // clean bitmap: fall back to the single-bucket step
 }
 
 /**

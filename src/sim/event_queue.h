@@ -274,6 +274,9 @@ class EventQueue
     std::uint32_t allocSlot();
     void freeSlot(std::uint32_t slot);
     void loadNextBucket();
+    /** Circular bucket distance from @p from to the next bucket whose
+     *  occupancy bit is set (1 when the bitmap is clean). */
+    std::size_t nextOccupiedDistance(std::size_t from) const;
     bool prepareNext();
     bool takeNext(Ref &out);
     bool peekWhen(Tick &when);
@@ -300,6 +303,15 @@ class EventQueue
 
     /** Near-future wheel. Buckets hold unsorted refs until consumed. */
     std::array<std::vector<Ref>, kNumBuckets> buckets_;
+    /**
+     * Bucket-occupancy bitmap (bit = bucket may be non-empty). Lets a
+     * sparse advance jump straight to the next occupied bucket instead
+     * of stepping empty ones — a fleet of mostly-idle servers advanced
+     * in ~200 µs epochs otherwise walks ~200 empty buckets per server
+     * per epoch. Bits can be stale-set (bucket emptied by compaction);
+     * they are cleared when visited. A clear bit is always truthful.
+     */
+    std::array<std::uint64_t, kNumBuckets / 64> occupied_{};
     std::size_t wheelCount_ = 0;
     /** Start tick of the first not-yet-consumed bucket (bucket-aligned). */
     Tick wheelNext_ = 0;

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-shape parallel reduction for mergeable statistics.
+ *
+ * Folding 10k per-server histograms into a fleet report is an
+ * O(servers x buckets) merge chain; done sequentially it serializes the
+ * end of every sweep. `reduceFixed` splits the items into leaves of a
+ * fixed width, accumulates each leaf independently (parallelizable),
+ * then folds the leaf accumulators left-to-right.
+ *
+ * The reduction SHAPE depends only on (n, leaf_width) — never on the
+ * worker count — so results that are sensitive to merge order
+ * (floating-point sums inside accumulators) are still bit-identical
+ * across any thread or shard count. Within a leaf, items are
+ * accumulated in ascending index order, exactly like the sequential
+ * fold the callers replaced.
+ */
+
+#ifndef APC_STATS_REDUCE_H
+#define APC_STATS_REDUCE_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace apc::stats {
+
+/**
+ * Reduce items [0, n) into one accumulator.
+ *
+ * @param n          item count
+ * @param leaf_width items per leaf; must not depend on thread count if
+ *                   bit-reproducibility across thread counts is wanted
+ * @param init       prototype accumulator (carries e.g. histogram
+ *                   binning); every leaf starts from a copy of it
+ * @param accum      accum(acc, i): fold item i into a leaf accumulator
+ * @param merge      merge(acc, other): fold one accumulator into another
+ * @param pfor       pfor(count, fn): run fn(0..count-1), possibly in
+ *                   parallel (e.g. ThreadPool::parallelFor); leaves are
+ *                   independent
+ */
+template <typename Acc, typename AccumFn, typename MergeFn,
+          typename ParallelFor>
+Acc
+reduceFixed(std::size_t n, std::size_t leaf_width, const Acc &init,
+            AccumFn accum, MergeFn merge, ParallelFor &&pfor)
+{
+    Acc out = init;
+    if (n == 0)
+        return out;
+    if (leaf_width == 0)
+        leaf_width = 1;
+    const std::size_t leaves = (n + leaf_width - 1) / leaf_width;
+    if (leaves <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            accum(out, i);
+        return out;
+    }
+    std::vector<Acc> part(leaves, init);
+    pfor(leaves, [&](std::size_t l) {
+        const std::size_t b = l * leaf_width;
+        const std::size_t e = b + leaf_width < n ? b + leaf_width : n;
+        for (std::size_t i = b; i < e; ++i)
+            accum(part[l], i);
+    });
+    // Left-to-right fold in fixed leaf order: deterministic, and cheap
+    // relative to the leaf stage (leaves/leaf_width of the work).
+    for (Acc &p : part)
+        merge(out, p);
+    return out;
+}
+
+} // namespace apc::stats
+
+#endif // APC_STATS_REDUCE_H

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "fleet/dispatch.h"
 #include "fleet/fleet_sim.h"
 #include "fleet/thread_pool.h"
@@ -20,44 +22,118 @@ using sim::kUs;
 
 TEST(Dispatch, RoundRobinCycles)
 {
-    RoundRobinDispatcher rr;
-    const std::vector<std::uint32_t> q{5, 0, 9, 2};
-    const std::vector<bool> none;
-    EXPECT_EQ(rr.pick(q, none), 0u);
-    EXPECT_EQ(rr.pick(q, none), 1u);
-    EXPECT_EQ(rr.pick(q, none), 2u);
-    EXPECT_EQ(rr.pick(q, none), 3u);
-    EXPECT_EQ(rr.pick(q, none), 0u);
+    RoundRobinDispatcher rr(4);
+    rr.refresh({5, 0, 9, 2}); // load is irrelevant to round-robin
+    EXPECT_EQ(rr.pick(), 0u);
+    EXPECT_EQ(rr.pick(), 1u);
+    EXPECT_EQ(rr.pick(), 2u);
+    EXPECT_EQ(rr.pick(), 3u);
+    EXPECT_EQ(rr.pick(), 0u);
 }
 
-TEST(Dispatch, RoundRobinSkipsBanned)
+TEST(Dispatch, RoundRobinSkipsExcluded)
 {
-    RoundRobinDispatcher rr;
-    const std::vector<std::uint32_t> q{0, 0, 0};
-    EXPECT_EQ(rr.pick(q, {true, false, false}), 1u);
-    EXPECT_EQ(rr.pick(q, {false, true, true}), 0u);
+    RoundRobinDispatcher rr(3);
+    rr.exclude(0);
+    EXPECT_EQ(rr.pick(), 1u); // cursor moved past the excluded 0
+    rr.clearExclusions();
+    rr.exclude(1);
+    rr.exclude(2);
+    EXPECT_EQ(rr.pick(), 0u);
+    rr.clearExclusions();
 }
 
 TEST(Dispatch, LeastOutstandingPicksShortestQueue)
 {
-    LeastOutstandingDispatcher lo;
-    const std::vector<bool> none;
-    EXPECT_EQ(lo.pick({3, 1, 2}, none), 1u);
+    LeastOutstandingDispatcher lo(3);
+    lo.refresh({3, 1, 2});
+    EXPECT_EQ(lo.pick(), 1u);
     // Ties break towards the lowest index.
-    EXPECT_EQ(lo.pick({2, 1, 1}, none), 1u);
-    EXPECT_EQ(lo.pick({1, 1, 1}, {true, false, false}), 1u);
+    lo.refresh({2, 1, 1});
+    EXPECT_EQ(lo.pick(), 1u);
+    lo.refresh({1, 1, 1});
+    lo.exclude(0);
+    EXPECT_EQ(lo.pick(), 1u);
+    lo.clearExclusions();
+}
+
+TEST(Dispatch, LeastOutstandingSeesOwnDispatches)
+{
+    LeastOutstandingDispatcher lo(3);
+    lo.refresh({1, 0, 2});
+    EXPECT_EQ(lo.pick(), 1u);
+    lo.onDispatch(1); // in-epoch dispatch: 1 now ties with 0 at 1
+    EXPECT_EQ(lo.pick(), 0u); // leftmost of the tied 1s
+    lo.onDispatch(0); // counts {2, 1, 2}
+    EXPECT_EQ(lo.pick(), 1u);
+}
+
+TEST(Dispatch, ExclusionParksAndRestoresTheCount)
+{
+    LeastOutstandingDispatcher lo(3);
+    lo.refresh({0, 5, 5});
+    EXPECT_EQ(lo.pick(), 0u);
+    lo.onDispatch(0);
+    lo.exclude(0);
+    // Dispatches while excluded still land on the saved count.
+    lo.onDispatch(0);
+    EXPECT_EQ(lo.pick(), 1u); // 0 is hidden
+    lo.clearExclusions();
+    lo.refresh({0, 0, 0});
+    EXPECT_EQ(lo.pick(), 0u); // restored and usable again
 }
 
 TEST(Dispatch, PackingFillsInOrderThenSpills)
 {
-    PackingDispatcher pk(2);
-    const std::vector<bool> none;
-    EXPECT_EQ(pk.pick({0, 0, 0}, none), 0u);
-    EXPECT_EQ(pk.pick({1, 0, 0}, none), 0u);
-    EXPECT_EQ(pk.pick({2, 0, 0}, none), 1u); // server 0 at budget
-    EXPECT_EQ(pk.pick({2, 2, 0}, none), 2u);
+    PackingDispatcher pk(3, 2);
+    pk.refresh({0, 0, 0});
+    EXPECT_EQ(pk.pick(), 0u);
+    pk.refresh({1, 0, 0});
+    EXPECT_EQ(pk.pick(), 0u);
+    pk.refresh({2, 0, 0});
+    EXPECT_EQ(pk.pick(), 1u); // server 0 at budget
+    pk.refresh({2, 2, 0});
+    EXPECT_EQ(pk.pick(), 2u);
     // Everyone at budget: joins the shortest queue instead.
-    EXPECT_EQ(pk.pick({4, 2, 3}, none), 1u);
+    pk.refresh({4, 2, 3});
+    EXPECT_EQ(pk.pick(), 1u);
+}
+
+// ---------------------------------------------------------------- MinIndex
+
+TEST(MinIndexTest, ArgminAndFirstUnderMatchLinearScan)
+{
+    // Property check against the reference scans the old dispatchers
+    // used, under random churn.
+    std::mt19937_64 gen(1234);
+    for (std::size_t n : {1ul, 2ul, 3ul, 17ul, 64ul, 100ul}) {
+        std::vector<std::uint32_t> v(n);
+        for (auto &x : v)
+            x = static_cast<std::uint32_t>(gen() % 7);
+        MinIndex idx;
+        idx.assign(v);
+        for (int step = 0; step < 300; ++step) {
+            // Reference: leftmost min and leftmost under bound.
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < n; ++i)
+                if (v[i] < v[best])
+                    best = i;
+            ASSERT_EQ(idx.argmin(), best);
+            const auto bound = static_cast<std::uint32_t>(gen() % 8);
+            std::size_t first = MinIndex::npos;
+            for (std::size_t i = 0; i < n; ++i)
+                if (v[i] < bound) {
+                    first = i;
+                    break;
+                }
+            ASSERT_EQ(idx.firstUnder(bound), first);
+            // Churn one slot.
+            const std::size_t i = gen() % n;
+            const auto nv = static_cast<std::uint32_t>(gen() % 7);
+            v[i] = nv;
+            idx.set(i, nv);
+        }
+    }
 }
 
 // ----------------------------------------------------------------- traffic
