@@ -131,13 +131,29 @@ fleetLoadConfig(std::size_t num_servers, fleet::DispatchKind kind,
 
 /**
  * CSV sink named by APC_BENCH_CSV (null when unset): benches append
- * sweep rows there so plots don't scrape stdout. Caller fcloses.
+ * sweep rows there so plots don't scrape stdout. Close with closeCsv()
+ * so a full disk surfaces as a failure, not a truncated file.
  */
 inline std::FILE *
 csvSink()
 {
     const char *path = std::getenv("APC_BENCH_CSV");
     return path && *path ? std::fopen(path, "w") : nullptr;
+}
+
+/** Flush-and-close a CSV sink, propagating buffered-write failures.
+ *  Null is fine (no sink). @return false on IO failure. */
+inline bool
+closeCsv(std::FILE *csv)
+{
+    if (!csv)
+        return true;
+    bool ok = std::fflush(csv) == 0 && !std::ferror(csv);
+    if (std::fclose(csv) != 0)
+        ok = false;
+    if (!ok)
+        std::fprintf(stderr, "error: CSV sink write failed\n");
+    return ok;
 }
 
 /** Banner helper. */

@@ -73,8 +73,7 @@ main()
         }
     }
     t.print();
-    if (csv)
-        std::fclose(csv);
+    const bool csv_ok = bench::closeCsv(csv);
 
     if (rr_w_low > 0)
         std::printf("\nPacking vs round-robin at 10%% load: "
@@ -84,5 +83,5 @@ main()
                         .c_str());
     std::printf("Spreading keeps every server lukewarm; packing lets "
                 "the drained tail of the fleet sit in PC1A.\n");
-    return 0;
+    return csv_ok ? 0 : 1;
 }

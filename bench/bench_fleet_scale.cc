@@ -53,6 +53,12 @@ struct Cell
     std::uint64_t events = 0;
     double qps = 0;
     double p99Us = 0;
+    // Engine self-profile: wall-clock per pipeline phase and the
+    // advance phase's shard imbalance (max/mean shard time).
+    double routeSec = 0;
+    double advanceSec = 0;
+    double mergeSec = 0;
+    double imbalance = 1.0;
     std::string csvRow; ///< determinism cross-check payload
     double eventsPerSec() const
     {
@@ -98,24 +104,34 @@ runCell(std::size_t servers, unsigned threads)
         c.events += fleet.server(i).sim().events().executedEvents();
     c.qps = rep.achievedQps;
     c.p99Us = rep.p99LatencyUs;
+    using Phase = obs::PhaseProfiler::Phase;
+    c.routeSec = fleet.profiler().totalSec(Phase::Route);
+    c.advanceSec = fleet.profiler().totalSec(Phase::Advance);
+    c.mergeSec = fleet.profiler().totalSec(Phase::Merge);
+    c.imbalance = fleet.profiler().shardImbalance();
     c.csvRow = rep.csvRow();
     return c;
 }
 
-void
+bool
 writeJson(const char *path, const std::vector<Cell> &grid,
           bool deterministic)
 {
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
         std::fprintf(stderr, "cannot write %s\n", path);
-        return;
+        return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"fleet_scale\",\n");
-    std::fprintf(f, "  \"engine\": \"sharded\",\n");
-    std::fprintf(f, "  \"deterministic_across_grid\": %s,\n",
-                 deterministic ? "true" : "false");
-    std::fprintf(f, "  \"grid\": [\n");
+    bool ok = true;
+    const auto put = [f, &ok](const char *fmt, auto... args) {
+        if (std::fprintf(f, fmt, args...) < 0)
+            ok = false;
+    };
+    put("{\n  \"bench\": \"fleet_scale\",\n");
+    put("  \"engine\": \"sharded\",\n");
+    put("  \"deterministic_across_grid\": %s,\n",
+        deterministic ? "true" : "false");
+    put("  \"grid\": [\n");
     for (std::size_t i = 0; i < grid.size(); ++i) {
         const Cell &c = grid[i];
         // speedup/efficiency vs the 1-thread cell of the same row.
@@ -124,24 +140,29 @@ writeJson(const char *path, const std::vector<Cell> &grid,
             if (d.servers == c.servers && d.threads == 1)
                 base = d.wallSec;
         const double speedup = c.wallSec > 0 ? base / c.wallSec : 0;
-        std::fprintf(
-            f,
-            "    {\"servers\": %zu, \"threads\": %u, "
+        put("    {\"servers\": %zu, \"threads\": %u, "
             "\"shard_size\": %zu, \"num_shards\": %zu, "
             "\"wall_sec\": %.3f, \"sim_sec\": %.3f, "
             "\"events\": %llu, \"events_per_sec\": %.0f, "
             "\"qps\": %.0f, \"p99_us\": %.1f, "
+            "\"route_sec\": %.3f, \"advance_sec\": %.3f, "
+            "\"merge_sec\": %.3f, \"shard_imbalance\": %.2f, "
             "\"speedup_vs_1t\": %.2f, "
             "\"parallel_efficiency\": %.2f}%s\n",
             c.servers, c.threads, c.shardSize, c.numShards, c.wallSec,
             c.simSec, static_cast<unsigned long long>(c.events),
-            c.eventsPerSec(), c.qps, c.p99Us, speedup,
+            c.eventsPerSec(), c.qps, c.p99Us, c.routeSec, c.advanceSec,
+            c.mergeSec, c.imbalance, speedup,
             speedup / static_cast<double>(c.threads),
             i + 1 < grid.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    put("  ]\n}\n");
+    if (std::fclose(f) != 0 || !ok) {
+        std::fprintf(stderr, "error: writing %s failed\n", path);
+        return false;
+    }
     std::printf("\nWrote %s\n", path);
+    return true;
 }
 
 } // namespace
@@ -171,13 +192,14 @@ main()
     if (csv)
         std::fprintf(csv,
                      "servers,threads,shard_size,num_shards,wall_sec,"
-                     "events,events_per_sec,qps,p99_us\n");
+                     "events,events_per_sec,qps,p99_us,route_sec,"
+                     "advance_sec,merge_sec,shard_imbalance\n");
 
     std::vector<Cell> grid;
     bool deterministic = true;
     TablePrinter t("Fleet scaling grid (10% load, 200 µs epochs)");
     t.header({"Servers", "Threads", "Shards", "Wall (s)", "Mev/s",
-              "Speedup", "Eff", "p99 (us)"});
+              "Speedup", "Eff", "Imbal", "p99 (us)"});
     for (std::size_t servers : server_counts) {
         double base = 0;
         std::string ref_row;
@@ -205,14 +227,18 @@ main()
                    TablePrinter::num(speedup, 2),
                    TablePrinter::num(
                        speedup / static_cast<double>(threads), 2),
+                   TablePrinter::num(c.imbalance, 2),
                    TablePrinter::num(c.p99Us, 0)});
             if (csv)
                 std::fprintf(csv,
-                             "%zu,%u,%zu,%zu,%.3f,%llu,%.0f,%.0f,%.1f\n",
+                             "%zu,%u,%zu,%zu,%.3f,%llu,%.0f,%.0f,%.1f,"
+                             "%.3f,%.3f,%.3f,%.2f\n",
                              c.servers, c.threads, c.shardSize,
                              c.numShards, c.wallSec,
                              static_cast<unsigned long long>(c.events),
-                             c.eventsPerSec(), c.qps, c.p99Us);
+                             c.eventsPerSec(), c.qps, c.p99Us,
+                             c.routeSec, c.advanceSec, c.mergeSec,
+                             c.imbalance);
             grid.push_back(c);
         }
     }
@@ -224,12 +250,12 @@ main()
         "lifts via O(log n) dispatch, bucketed staging and wheel-jump "
         "advances)\nDeterminism across the grid: %s\n",
         deterministic ? "OK (reports byte-identical)" : "VIOLATED");
-    if (csv)
-        std::fclose(csv);
+    const bool csv_ok = bench::closeCsv(csv);
 
     const char *json_path = std::getenv("APC_BENCH_JSON");
-    writeJson(json_path && *json_path ? json_path
-                                      : "BENCH_fleetscale.json",
-              grid, deterministic);
-    return deterministic ? 0 : 1;
+    const bool json_ok =
+        writeJson(json_path && *json_path ? json_path
+                                          : "BENCH_fleetscale.json",
+                  grid, deterministic);
+    return (deterministic && csv_ok && json_ok) ? 0 : 1;
 }

@@ -94,11 +94,10 @@ main()
                          rate, r.pc1aResidency, r.pkgPowerW);
     }
     t.print();
-    if (csv)
-        std::fclose(csv);
+    const bool csv_ok = bench::closeCsv(csv);
     std::printf("\nReading: transitions are so cheap (~160 ns, no PLL "
                 "relock, no state loss) that rate-limiting them only "
                 "loses residency and therefore power — the paper's "
                 "hysteresis-free APMU is the right design.\n");
-    return 0;
+    return csv_ok ? 0 : 1;
 }

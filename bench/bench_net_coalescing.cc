@@ -91,8 +91,7 @@ main()
         endpoints.emplace_back(std::move(base), std::move(wide));
     }
     t.print();
-    if (csv)
-        std::fclose(csv);
+    const bool csv_ok = bench::closeCsv(csv);
 
     for (std::size_t i = 0; i < endpoints.size(); ++i) {
         const auto &[base, wide] = endpoints[i];
@@ -114,5 +113,5 @@ main()
                 "residency — the NIC holds packets, the package sleeps "
                 "through them, and one DMA burst pays one wake for the "
                 "whole batch.\n");
-    return 0;
+    return csv_ok ? 0 : 1;
 }

@@ -188,8 +188,7 @@ main()
             }
     }
     t.print();
-    if (csv)
-        std::fclose(csv);
+    const bool csv_ok = bench::closeCsv(csv);
 
     // Headline comparison: 1.5x oversubscription at the higher of the
     // two low-load points.
@@ -229,5 +228,5 @@ main()
     writeJson(json_path && *json_path ? json_path
                                       : "BENCH_powercap.json",
               points, idleHead, dvfsHead, slo_us);
-    return 0;
+    return csv_ok ? 0 : 1;
 }

@@ -84,8 +84,7 @@ main()
         }
     }
     t.print();
-    if (csv)
-        std::fclose(csv);
+    const bool csv_ok = bench::closeCsv(csv);
 
     std::printf("\nAverages over the sweep: DVFS saves %s with +%s p99; "
                 "APC race-to-halt saves %s with %s p99 cost.\n",
@@ -96,5 +95,5 @@ main()
     std::printf("Paper Sec. 8: \"The new PC1A state of APC ... makes a "
                 "simple race-to-halt approach more attractive compared "
                 "to complex DVFS management techniques.\"\n");
-    return 0;
+    return csv_ok ? 0 : 1;
 }

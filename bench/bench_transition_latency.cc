@@ -92,8 +92,8 @@ main()
         std::fprintf(csv, "pc6_round_trip,50000,%.2f,%.2f\n",
                      (pc6_entry_us + pc6_exit_us) * 1000.0,
                      (pc6_entry_us + pc6_exit_us) * 1000.0);
-        std::fclose(csv);
     }
+    const bool csv_ok = bench::closeCsv(csv);
 
     TablePrinter t("PC1A transition latency (ns) over " +
                    std::to_string(entry_ns.count()) + " entries / " +
@@ -117,5 +117,5 @@ main()
     t2.row({"PC1A speedup vs PC6", ">250x",
             TablePrinter::num(speedup, 0) + "x"});
     t2.print();
-    return 0;
+    return csv_ok ? 0 : 1;
 }

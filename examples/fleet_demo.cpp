@@ -6,9 +6,17 @@
  * package C-state argument in ~100 lines.
  *
  *   ./fleet_demo
+ *
+ * Observability knobs (all optional):
+ *   APC_TRACE_OUT=<path>    enable span tracing on the PowerAwarePacking
+ *                           run and export a Perfetto/Chrome trace JSON
+ *   APC_METRICS_OUT=<path>  enable epoch metrics sampling on the same
+ *                           run and export the time series as CSV
+ *   APC_BENCH_DURATION_MS=<ms>  shrink the simulated window (CI smoke)
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "fleet/fleet_sim.h"
 
@@ -49,6 +57,9 @@ makeConfig(fleet::DispatchKind kind)
 
     fc.sloUs = 2000.0;
     fc.duration = 400 * sim::kMs; // two diurnal cycles
+    if (const char *env = std::getenv("APC_BENCH_DURATION_MS"))
+        if (const auto ms = std::atoll(env); ms > 0)
+            fc.duration = ms * sim::kMs;
     return fc;
 }
 
@@ -77,12 +88,50 @@ main()
         fleet::DispatchKind::PowerAwarePacking,
     };
 
+    const char *trace_out = std::getenv("APC_TRACE_OUT");
+    const char *metrics_out = std::getenv("APC_METRICS_OUT");
+
+    bool obs_ok = true;
     fleet::FleetReport reports[3];
     for (int i = 0; i < 3; ++i) {
-        const auto fc = makeConfig(kinds[i]);
+        auto fc = makeConfig(kinds[i]);
+        // Observe the packing run: it is the headline policy and shows
+        // the richest trace (cap actuations, packed vs parked servers).
+        const bool observed =
+            kinds[i] == fleet::DispatchKind::PowerAwarePacking;
+        fc.trace.enabled = observed && trace_out && *trace_out;
+        fc.metrics.enabled = observed && metrics_out && *metrics_out;
         fleet::FleetSim fleet(fc);
         reports[i] = fleet.run();
         report(fleet::dispatchName(kinds[i]), reports[i]);
+        if (fc.trace.enabled) {
+            if (fleet.writeTrace(trace_out))
+                std::printf("\nWrote Perfetto trace: %s (%llu events, "
+                            "%llu dropped)\n",
+                            trace_out,
+                            static_cast<unsigned long long>(
+                                fleet.tracer()->totalRecorded()),
+                            static_cast<unsigned long long>(
+                                fleet.tracer()->totalDropped()));
+            else {
+                std::fprintf(stderr, "error: trace export to %s failed\n",
+                             trace_out);
+                obs_ok = false;
+            }
+        }
+        if (fc.metrics.enabled) {
+            if (fleet.writeMetricsCsv(metrics_out))
+                std::printf("Wrote metrics CSV: %s (%zu samples x %zu "
+                            "series)\n",
+                            metrics_out, fleet.metrics()->numSamples(),
+                            fleet.metrics()->numSeries());
+            else {
+                std::fprintf(stderr,
+                             "error: metrics export to %s failed\n",
+                             metrics_out);
+                obs_ok = false;
+            }
+        }
     }
 
     const double spread_w = reports[0].totalPowerW();
@@ -98,5 +147,5 @@ main()
                     100.0 * r.pc1aResidency(),
                     static_cast<unsigned long long>(r.requests));
     }
-    return 0;
+    return obs_ok ? 0 : 1;
 }

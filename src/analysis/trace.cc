@@ -2,62 +2,99 @@
 
 namespace apc::analysis {
 
-TraceRecorder::TraceRecorder(soc::Soc &soc, bool trace_cores) : soc_(soc)
+// Storage mapping: one obs::TraceRecord per event, with the interned
+// kind id in `rec.id` and the detail id in `rec.name`. Events are
+// recorded in subscription-callback order, which forEach preserves.
+
+TraceRecorder::TraceRecorder(soc::Soc &soc, bool trace_cores,
+                             std::size_t capacity)
+    : soc_(soc), ring_(0, capacity)
 {
+    kindPkg_ = interner_.intern("pkg");
+    kindWire_ = interner_.intern("wire");
+    kindCore_ = interner_.intern("core");
+    for (std::size_t s = 0; s < soc::kNumPkgStates; ++s)
+        pkgNames_[s] = interner_.intern(
+            soc::pkgStateName(static_cast<soc::PkgState>(s)));
+
     // Package-level state: recompute on the same triggers Soc uses.
-    soc_.allIdle().subscribe([this](bool) {
-        record("pkg", soc::pkgStateName(soc_.pkgState()));
-    });
-    soc_.gpmu().onStateChange([this](uncore::Gpmu::State) {
-        record("pkg", soc::pkgStateName(soc_.pkgState()));
-    });
+    soc_.allIdle().subscribe([this](bool) { recordPkg(); });
+    soc_.gpmu().onStateChange(
+        [this](uncore::Gpmu::State) { recordPkg(); });
     if (auto *apmu = soc_.apmu()) {
-        apmu->onStateChange([this](core::Apmu::State) {
-            record("pkg", soc::pkgStateName(soc_.pkgState()));
-        });
-        apmu->allCoresCc1().subscribe([this](bool v) {
-            record("wire", std::string("InCC1=") + (v ? "1" : "0"));
-        });
-        apmu->allIosL0s().subscribe([this](bool v) {
-            record("wire", std::string("InL0s=") + (v ? "1" : "0"));
-        });
-        apmu->inPc1a().subscribe([this](bool v) {
-            record("wire", std::string("InPC1A=") + (v ? "1" : "0"));
-        });
+        apmu->onStateChange([this](core::Apmu::State) { recordPkg(); });
+        const auto cc1 = wirePair("InCC1");
+        apmu->allCoresCc1().subscribe(
+            [this, cc1](bool v) { record(kindWire_, cc1[v]); });
+        const auto l0s = wirePair("InL0s");
+        apmu->allIosL0s().subscribe(
+            [this, l0s](bool v) { record(kindWire_, l0s[v]); });
+        const auto pc1a = wirePair("InPC1A");
+        apmu->inPc1a().subscribe(
+            [this, pc1a](bool v) { record(kindWire_, pc1a[v]); });
     }
-    soc_.clm().pwrOk().subscribe([this](bool v) {
-        record("wire", std::string("PwrOk=") + (v ? "1" : "0"));
-    });
+    const auto pwrok = wirePair("PwrOk");
+    soc_.clm().pwrOk().subscribe(
+        [this, pwrok](bool v) { record(kindWire_, pwrok[v]); });
     for (std::size_t i = 0; i < soc_.numMcs(); ++i) {
-        soc_.mc(i).allowCkeOff().subscribe([this, i](bool v) {
-            record("wire", "mc" + std::to_string(i) +
-                               ".Allow_CKE_OFF=" + (v ? "1" : "0"));
-        });
+        const auto cke =
+            wirePair("mc" + std::to_string(i) + ".Allow_CKE_OFF");
+        soc_.mc(i).allowCkeOff().subscribe(
+            [this, cke](bool v) { record(kindWire_, cke[v]); });
     }
     if (trace_cores) {
         for (std::size_t i = 0; i < soc_.numCores(); ++i) {
-            soc_.core(i).inCc1().subscribe([this, i](bool v) {
-                record("core", "core" + std::to_string(i) + ".InCC1=" +
-                                   (v ? "1" : "0"));
-            });
+            const auto cc1 =
+                wirePair("core" + std::to_string(i) + ".InCC1");
+            soc_.core(i).inCc1().subscribe(
+                [this, cc1](bool v) { record(kindCore_, cc1[v]); });
         }
     }
 }
 
-void
-TraceRecorder::record(const char *kind, std::string detail)
+std::array<obs::StrId, 2>
+TraceRecorder::wirePair(const std::string &base)
 {
-    events_.push_back(
-        TraceEvent{soc_.sim().now(), kind, std::move(detail)});
+    return {interner_.intern(base + "=0"), interner_.intern(base + "=1")};
+}
+
+void
+TraceRecorder::record(obs::StrId kind, obs::StrId detail)
+{
+    ring_.record(obs::TraceKind::Instant, obs::Track::Power,
+                 soc_.sim().now(), 0, detail, kind, 0.0);
+}
+
+void
+TraceRecorder::recordPkg()
+{
+    record(kindPkg_,
+           pkgNames_[static_cast<std::size_t>(soc_.pkgState())]);
+}
+
+std::vector<TraceEvent>
+TraceRecorder::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    ring_.forEach([&out](const obs::TraceRecord &r) {
+        out.push_back(TraceEvent{r.ts, static_cast<obs::StrId>(r.id),
+                                 r.name});
+    });
+    return out;
 }
 
 std::size_t
 TraceRecorder::countKind(const std::string &kind) const
 {
+    const obs::StrId k = interner_.find(kind);
+    if (k == obs::kNoStr)
+        return 0;
     std::size_t n = 0;
-    for (const auto &e : events_)
-        if (e.kind == kind)
+    ring_.forEach([&n, k](const obs::TraceRecord &r) {
+        if (r.id == k)
             ++n;
+    });
     return n;
 }
 
@@ -65,20 +102,32 @@ std::size_t
 TraceRecorder::count(const std::string &kind,
                      const std::string &detail) const
 {
+    const obs::StrId k = interner_.find(kind);
+    const obs::StrId d = interner_.find(detail);
+    if (k == obs::kNoStr || d == obs::kNoStr)
+        return 0;
     std::size_t n = 0;
-    for (const auto &e : events_)
-        if (e.kind == kind && e.detail == detail)
+    ring_.forEach([&n, k, d](const obs::TraceRecord &r) {
+        if (r.id == k && r.name == d)
             ++n;
+    });
     return n;
 }
 
-void
+bool
 TraceRecorder::writeCsv(std::FILE *out) const
 {
-    std::fprintf(out, "time_us,kind,detail\n");
-    for (const auto &e : events_)
-        std::fprintf(out, "%.4f,%s,%s\n", sim::toMicros(e.when),
-                     e.kind.c_str(), e.detail.c_str());
+    bool ok = std::fprintf(out, "time_us,kind,detail\n") >= 0;
+    ring_.forEach([this, out, &ok](const obs::TraceRecord &r) {
+        if (std::fprintf(out, "%.4f,%s,%s\n", sim::toMicros(r.ts),
+                         interner_.str(static_cast<obs::StrId>(r.id))
+                             .c_str(),
+                         interner_.str(r.name).c_str()) < 0)
+            ok = false;
+    });
+    if (std::fflush(out) != 0)
+        ok = false;
+    return ok && !std::ferror(out);
 }
 
 bool
@@ -87,9 +136,8 @@ TraceRecorder::writeCsv(const std::string &path) const
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         return false;
-    writeCsv(f);
-    std::fclose(f);
-    return true;
+    const bool ok = writeCsv(f);
+    return std::fclose(f) == 0 && ok;
 }
 
 } // namespace apc::analysis

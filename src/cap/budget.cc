@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "obs/tracer.h"
+
 namespace apc::cap {
 
 BudgetAllocator::BudgetAllocator(BudgetConfig cfg, std::size_t num_servers)
@@ -113,6 +115,17 @@ BudgetAllocator::allocate(sim::Tick now,
 
     rec.allocatedW =
         std::accumulate(alloc.begin(), alloc.end(), 0.0);
+    if (trace_) {
+        trace_->counter(now, obs::Name::RackBudgetW, obs::Track::Budget,
+                        rec.budgetW);
+        trace_->counter(now, obs::Name::RackDemandW, obs::Track::Budget,
+                        rec.demandW);
+        trace_->counter(now, obs::Name::RackAllocW, obs::Track::Budget,
+                        rec.allocatedW);
+        if (rec.emergency)
+            trace_->instant(now, obs::Name::BudgetEmergency,
+                            obs::Track::Budget);
+    }
     log_.push_back(rec);
     return alloc;
 }

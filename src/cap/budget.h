@@ -27,6 +27,10 @@
 
 #include "sim/time.h"
 
+namespace apc::obs {
+class TraceWriter;
+}
+
 namespace apc::cap {
 
 /** Simulated breaker trip: the rack budget is cut for a window. */
@@ -117,6 +121,10 @@ class BudgetAllocator
 
     const BudgetConfig &config() const { return cfg_; }
 
+    /** Mirror each epoch's decision into @p w (Budget track counters;
+     *  null disables). */
+    void setTrace(obs::TraceWriter *w) { trace_ = w; }
+
   private:
     double weight(std::size_t i) const;
 
@@ -125,6 +133,7 @@ class BudgetAllocator
     double nominalBudgetW_;
     std::vector<EpochRecord> log_;
     std::uint64_t emergencyEpochs_ = 0;
+    obs::TraceWriter *trace_ = nullptr;
 };
 
 } // namespace apc::cap

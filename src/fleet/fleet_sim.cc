@@ -113,6 +113,51 @@ FleetSim::FleetSim(FleetConfig cfg)
                     slot->drops.push_back({at, srv, id});
                 });
     }
+    // Tracing attaches before the allocator's initial allocation so
+    // the first setPowerLimit lands in the trace too.
+    if (cfg_.trace.enabled) {
+        tracer_ =
+            std::make_unique<obs::Tracer>(cfg_.trace, cfg_.numServers + 1);
+        fleetTrace_ = tracer_->writer(0);
+        tracer_->setEntityLabel(0, "fleet");
+        for (std::size_t i = 0; i < servers_.size(); ++i) {
+            tracer_->setEntityLabel(i + 1,
+                                    "server " + std::to_string(i));
+            servers_[i]->enableTracing(tracer_->writer(i + 1));
+        }
+    }
+    if (cfg_.metrics.enabled) {
+        metrics_ = std::make_unique<obs::MetricsSampler>(cfg_.metrics);
+        series_.fleetPowerW = metrics_->addSeries("fleet.pkg_power_w");
+        series_.outstanding = metrics_->addSeries("fleet.outstanding");
+        series_.dispatched = metrics_->addSeries("fleet.dispatched");
+        series_.completed = metrics_->addSeries("fleet.completed");
+        series_.retransmits = metrics_->addSeries("fleet.retransmits");
+        series_.lost = metrics_->addSeries("fleet.lost");
+        if (cfg_.fabric.enabled) {
+            series_.fabricEnqueued =
+                metrics_->addSeries("fabric.enqueued");
+            series_.fabricDelivered =
+                metrics_->addSeries("fabric.delivered");
+            series_.fabricDropped =
+                metrics_->addSeries("fabric.dropped");
+        }
+        if (cfg_.budget.enabled)
+            series_.rackBudgetW = metrics_->addSeries("rack.budget_w");
+        if (cfg_.metrics.perServer) {
+            const bool capped = cfg_.cap.enabled || cfg_.budget.enabled;
+            for (std::size_t i = 0; i < servers_.size(); ++i) {
+                const int e = static_cast<int>(i);
+                series_.srvPowerW.push_back(
+                    metrics_->addSeries("server.power_w", e));
+                series_.srvOutstanding.push_back(
+                    metrics_->addSeries("server.outstanding", e));
+                if (capped)
+                    series_.srvCapLimitW.push_back(
+                        metrics_->addSeries("server.cap_limit_w", e));
+            }
+        }
+    }
     traffic_ = std::make_unique<TrafficSource>(
         cfg_.traffic, mixSeed(cfg_.seed, 0xF1EE7));
     if (cfg_.fabric.enabled)
@@ -121,6 +166,7 @@ FleetSim::FleetSim(FleetConfig cfg)
     if (cfg_.budget.enabled) {
         allocator_ = std::make_unique<cap::BudgetAllocator>(
             cfg_.budget, cfg_.numServers);
+        allocator_->setTrace(fleetTrace_);
         // Initial allocation with zero demand: floors plus an even
         // (weighted) split of the surplus.
         const auto initial = allocator_->allocate(
@@ -255,9 +301,17 @@ FleetSim::dispatchEpoch(sim::Tick from, sim::Tick to)
 void
 FleetSim::advanceShards(sim::Tick to)
 {
+    const auto sc = profiler_.scope(obs::PhaseProfiler::Phase::Advance);
+    const bool prof = profiler_.enabled();
     pool_.parallelForRanges(
-        layout_.numShards, [this, to](std::size_t b, std::size_t e) {
+        layout_.numShards,
+        [this, to, prof](std::size_t b, std::size_t e) {
             for (std::size_t sh = b; sh < e; ++sh) {
+                // Per-shard wall-clock feeds the imbalance metric; one
+                // writer per shard index, so no synchronization.
+                const auto t0 = prof
+                    ? obs::PhaseProfiler::Clock::now()
+                    : obs::PhaseProfiler::Clock::time_point{};
                 ShardSlot &slot = slots_[sh];
                 // Scheduling the staged injections here — instead of
                 // at route time — pulls each server's event queue into
@@ -276,6 +330,12 @@ FleetSim::advanceShards(sim::Tick to)
                           slot.completions.end(), stagedBefore);
                 std::sort(slot.drops.begin(), slot.drops.end(),
                           stagedBefore);
+                if (prof)
+                    profiler_.addShardTime(
+                        sh,
+                        std::chrono::duration<double>(
+                            obs::PhaseProfiler::Clock::now() - t0)
+                            .count());
             }
         });
 }
@@ -329,6 +389,19 @@ void
 FleetSim::finishFlight(FlightMap::iterator it)
 {
     const Flight &fl = it->second;
+    if (fleetTrace_) {
+        // Client-observed request lifecycle (warmup included): span to
+        // the slowest replica's response, or a loss marker.
+        if (fl.lost > 0)
+            fleetTrace_->instant(fl.arrival, obs::Name::Lost,
+                                 obs::Track::Requests, it->first);
+        else
+            fleetTrace_->span(fl.arrival,
+                              fl.lastDone - fl.arrival +
+                                  (fabric_ ? 0 : cfg_.networkLatency),
+                              obs::Name::Request, obs::Track::Requests,
+                              it->first);
+    }
     if (fl.measured) {
         if (fl.lost > 0) {
             // A request with any replica dropped beyond retry never
@@ -420,8 +493,18 @@ FleetSim::drainNicDrops(sim::Tick now_floor)
 FleetReport
 FleetSim::run()
 {
+    using Phase = obs::PhaseProfiler::Phase;
+    profiler_.enable(cfg_.profile);
+    profiler_.beginRun(layout_.numShards);
+
     for (auto &s : servers_)
         s->start();
+    if (metrics_) {
+        metricsPrev_.resize(servers_.size());
+        for (std::size_t i = 0; i < servers_.size(); ++i)
+            metricsPrev_[i] = servers_[i]->soc().rapl().readCounter(
+                power::Plane::Package);
+    }
 
     const sim::Tick measure_at = cfg_.warmup;
     const sim::Tick end = cfg_.warmup + cfg_.duration;
@@ -435,18 +518,26 @@ FleetSim::run()
             measuring_ = true;
             measureStart_ = t;
         }
-        if (allocator_ && t >= nextAllocAt_) {
-            allocateBudgets(t);
-            nextAllocAt_ = t + cfg_.budgetEpoch;
-        }
         // Epoch boundaries align with the start of measurement so RAPL
         // windows begin at a quiescent, single-threaded instant.
         const sim::Tick limit = measuring_ ? end : measure_at;
         const sim::Tick t1 = std::min(t + cfg_.epoch, limit);
-        dispatchEpoch(t, t1);
+        {
+            const auto sc = profiler_.scope(Phase::Route);
+            if (allocator_ && t >= nextAllocAt_) {
+                allocateBudgets(t);
+                nextAllocAt_ = t + cfg_.budgetEpoch;
+            }
+            dispatchEpoch(t, t1);
+        }
         advanceShards(t1);
-        drainCompletions();
-        drainNicDrops(t1);
+        {
+            const auto sc = profiler_.scope(Phase::Merge);
+            drainCompletions();
+            drainNicDrops(t1);
+        }
+        if (metrics_ && metrics_->due(t1))
+            sampleMetrics(t1);
         t = t1;
     }
 
@@ -454,7 +545,10 @@ FleetSim::run()
     // every server's power average covers exactly [warmup, end]; latch
     // fabric power on the same boundary (drain traffic would otherwise
     // smear busy time into a fixed-length window).
-    collectServers();
+    {
+        const auto sc = profiler_.scope(Phase::Collect);
+        collectServers();
+    }
     if (fabric_)
         fabricPowerW_ = fabric_->averagePowerW(cfg_.duration);
 
@@ -463,12 +557,86 @@ FleetSim::run()
     while (!inFlight_.empty() && t < deadline) {
         const sim::Tick t1 = std::min(t + cfg_.epoch, deadline);
         advanceShards(t1);
-        drainCompletions();
-        drainNicDrops(t1);
+        {
+            const auto sc = profiler_.scope(Phase::Merge);
+            drainCompletions();
+            drainNicDrops(t1);
+        }
+        if (metrics_ && metrics_->due(t1))
+            sampleMetrics(t1);
         t = t1;
     }
 
+    // Close the open package-state spans so the trace's power tracks
+    // cover the whole run.
+    if (tracer_)
+        for (auto &s : servers_)
+            s->traceFlush();
+
     return aggregate();
+}
+
+void
+FleetSim::sampleMetrics(sim::Tick t)
+{
+    metrics_->beginSample(t);
+    double fleet_w = 0.0;
+    std::uint64_t outstanding = 0;
+    const bool per_server = !series_.srvPowerW.empty();
+    const bool capped = !series_.srvCapLimitW.empty();
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+        auto &s = *servers_[i];
+        const auto cur =
+            s.soc().rapl().readCounter(power::Plane::Package);
+        const double w =
+            s.soc().rapl().averagePower(metricsPrev_[i], cur);
+        metricsPrev_[i] = cur;
+        fleet_w += w;
+        outstanding += s.outstanding();
+        if (per_server) {
+            metrics_->set(series_.srvPowerW[i], w);
+            metrics_->set(series_.srvOutstanding[i],
+                          static_cast<double>(s.outstanding()));
+            if (capped)
+                metrics_->set(series_.srvCapLimitW[i], s.powerLimitW());
+        }
+    }
+    metrics_->set(series_.fleetPowerW, fleet_w);
+    metrics_->set(series_.outstanding,
+                  static_cast<double>(outstanding));
+    metrics_->set(series_.dispatched,
+                  static_cast<double>(dispatched_));
+    metrics_->set(series_.completed, static_cast<double>(completed_));
+    metrics_->set(series_.retransmits,
+                  static_cast<double>(netRetransmits_));
+    metrics_->set(series_.lost, static_cast<double>(lostRequests_));
+    if (fabric_) {
+        const auto fs = fabric_->stats();
+        metrics_->set(series_.fabricEnqueued,
+                      static_cast<double>(fs.enqueued));
+        metrics_->set(series_.fabricDelivered,
+                      static_cast<double>(fs.delivered));
+        metrics_->set(series_.fabricDropped,
+                      static_cast<double>(fs.dropped));
+    }
+    if (allocator_)
+        metrics_->set(series_.rackBudgetW, allocator_->rackBudgetW(t));
+}
+
+bool
+FleetSim::writeTrace(const std::string &path) const
+{
+    if (!tracer_)
+        return false;
+    return tracer_->writePerfettoJson(path,
+                                      cfg_.profile ? &profiler_
+                                                   : nullptr);
+}
+
+bool
+FleetSim::writeMetricsCsv(const std::string &path) const
+{
+    return metrics_ && metrics_->writeCsv(path);
 }
 
 void

@@ -48,6 +48,9 @@
 #include "fleet/thread_pool.h"
 #include "fleet/traffic.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/tracer.h"
 #include "server/server_sim.h"
 
 namespace apc::fleet {
@@ -123,6 +126,22 @@ struct FleetConfig
     std::uint64_t seed = 42;
     /** Worker threads for the per-epoch parallel phase; <=1 = inline. */
     unsigned threads = 1;
+
+    /**
+     * Span tracing (obs/tracer.h): request lifecycles, package
+     * power-state spans, cap/budget actuations, NIC events, exported
+     * as Perfetto JSON via writeTrace(). Pure observation: reports are
+     * byte-identical with tracing on or off, at any thread count.
+     */
+    obs::TraceConfig trace;
+
+    /** Time-series metrics sampled at epoch boundaries
+     *  (obs/metrics.h); exported via writeMetricsCsv(). */
+    obs::MetricsConfig metrics;
+
+    /** Wall-clock profiling of the route/advance/merge pipeline
+     *  (obs/profiler.h); negligible cost, on by default. */
+    bool profile = true;
 
     /**
      * Servers per shard; 0 picks one automatically from the thread
@@ -272,6 +291,26 @@ class FleetSim
     /** The shard partitioning in effect (auto or configured). */
     const ShardLayout &shards() const { return layout_; }
 
+    /** The span tracer; null unless cfg.trace.enabled. */
+    obs::Tracer *tracer() { return tracer_.get(); }
+    const obs::Tracer *tracer() const { return tracer_.get(); }
+
+    /** The metrics sampler; null unless cfg.metrics.enabled. */
+    obs::MetricsSampler *metrics() { return metrics_.get(); }
+    const obs::MetricsSampler *metrics() const { return metrics_.get(); }
+
+    /** Engine wall-clock profile of the last run(). */
+    const obs::PhaseProfiler &profiler() const { return profiler_; }
+
+    /** Export the merged trace as Perfetto JSON (includes the engine's
+     *  wall-clock phase spans when cfg.profile). @return false when
+     *  tracing is off or on IO failure. */
+    bool writeTrace(const std::string &path) const;
+
+    /** Export the sampled metrics series. @return false when metrics
+     *  are off or on IO failure. */
+    bool writeMetricsCsv(const std::string &path) const;
+
   private:
     struct Flight
     {
@@ -320,6 +359,9 @@ class FleetSim
     /** Parallel per-shard ServerSim::collect into perServerResults_. */
     void collectServers();
     FleetReport aggregate();
+    /** Record one metrics row at epoch boundary @p t (single-threaded,
+     *  servers quiescent). */
+    void sampleMetrics(sim::Tick t);
 
     FleetConfig cfg_;
     ShardLayout layout_;
@@ -365,6 +407,26 @@ class FleetSim
     double fabricPowerW_ = 0.0;
     stats::Summary latencyUs_;
     stats::Histogram latencyHistUs_{0.1, 1e7, 64};
+
+    // --- telemetry (all pure observers of the simulation) ---
+    std::unique_ptr<obs::Tracer> tracer_;
+    /** Writer 0: fleet-spine events (request spans, budget counters). */
+    obs::TraceWriter *fleetTrace_ = nullptr;
+    std::unique_ptr<obs::MetricsSampler> metrics_;
+    obs::PhaseProfiler profiler_;
+    /** Per-server RAPL counters latched at the previous sample. */
+    std::vector<power::RaplSample> metricsPrev_;
+    /** Registered series ids (valid when metrics_ is set). */
+    struct MetricSeries
+    {
+        obs::SeriesId fleetPowerW = 0, outstanding = 0, dispatched = 0,
+                      completed = 0, retransmits = 0, lost = 0;
+        obs::SeriesId fabricEnqueued = 0, fabricDelivered = 0,
+                      fabricDropped = 0;
+        obs::SeriesId rackBudgetW = 0;
+        std::vector<obs::SeriesId> srvPowerW, srvOutstanding,
+            srvCapLimitW;
+    } series_;
 };
 
 } // namespace apc::fleet

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/tracer.h"
+
 namespace apc::net {
 
 Nic::Nic(sim::Simulation &sim, power::EnergyMeter &meter,
@@ -34,6 +36,9 @@ Nic::rxEnqueue(std::uint64_t id, sim::Tick service)
 {
     if (ring_.size() >= cfg_.rxRingSize) {
         ++stats_.rxDropped;
+        if (auto *tw = sim_.trace())
+            tw->instant(sim_.now(), obs::Name::NicDrop, obs::Track::Nic,
+                        id);
         if (dropFn_)
             dropFn_(id, sim_.now());
         return;
@@ -60,6 +65,9 @@ Nic::fireInterrupt()
 
     const sim::Tick irq_at = sim_.now();
     ++stats_.interrupts;
+    if (auto *tw = sim_.trace())
+        tw->instant(irq_at, obs::Name::NicIrq, obs::Track::Nic, 0,
+                    static_cast<double>(batch.size()));
     stats_.pktsPerIrq.record(static_cast<double>(batch.size()));
     for (const RxPacket &p : batch)
         stats_.ringWaitUs.record(sim::toMicros(irq_at - p.enqueuedAt));

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic string interning for the telemetry subsystem.
+ *
+ * Trace records and analysis events store 4-byte `StrId`s instead of
+ * `std::string`s; the interner maps each distinct string to the id of
+ * its first registration, so ids depend only on registration order —
+ * never on addresses or hashing — and a trace recorded twice interns
+ * identically. Interning is a *setup-time* operation (subscription,
+ * tracer construction): the hot recording path only copies ids.
+ */
+
+#ifndef APC_OBS_INTERNER_H
+#define APC_OBS_INTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace apc::obs {
+
+/** Interned string id (index into the interner's table). */
+using StrId = std::uint32_t;
+
+/** "No string" sentinel (lookup misses, unset fields). */
+inline constexpr StrId kNoStr = UINT32_MAX;
+
+/** Registration-ordered string table. Not thread-safe: intern only
+ *  from single-threaded setup/teardown code. */
+class StringInterner
+{
+  public:
+    /** Id for @p s, registering it on first sight. */
+    StrId
+    intern(std::string_view s)
+    {
+        const auto it = ids_.find(std::string(s));
+        if (it != ids_.end())
+            return it->second;
+        const auto id = static_cast<StrId>(strings_.size());
+        strings_.emplace_back(s);
+        ids_.emplace(strings_.back(), id);
+        return id;
+    }
+
+    /** Id for @p s if already interned, else kNoStr. */
+    StrId
+    find(std::string_view s) const
+    {
+        const auto it = ids_.find(std::string(s));
+        return it == ids_.end() ? kNoStr : it->second;
+    }
+
+    /** The string behind @p id (must be a valid id). */
+    const std::string &str(StrId id) const { return strings_[id]; }
+
+    std::size_t size() const { return strings_.size(); }
+
+  private:
+    std::unordered_map<std::string, StrId> ids_;
+    std::vector<std::string> strings_;
+};
+
+} // namespace apc::obs
+
+#endif // APC_OBS_INTERNER_H

@@ -1,0 +1,93 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace apc::obs {
+
+void
+MetricsSampler::beginSample(sim::Tick now)
+{
+    times_.push_back(now);
+    for (auto &v : values_)
+        v.push_back(std::numeric_limits<double>::quiet_NaN());
+    next_ = now + cfg_.interval;
+}
+
+bool
+MetricsSampler::writeCsv(std::FILE *out) const
+{
+    bool ok = true;
+    const auto put = [out, &ok](const char *fmt, auto... args) {
+        if (std::fprintf(out, fmt, args...) < 0)
+            ok = false;
+    };
+    put("t_us,series,entity,value\n");
+    for (std::size_t s = 0; s < times_.size(); ++s) {
+        for (std::size_t i = 0; i < names_.size(); ++i) {
+            const double v = values_[i][s];
+            if (std::isnan(v))
+                continue;
+            put("%.3f,%s,", sim::toMicros(times_[s]), names_[i].c_str());
+            if (entities_[i] >= 0)
+                put("%d", entities_[i]);
+            put(",%.6g\n", v);
+        }
+    }
+    if (std::fflush(out) != 0)
+        ok = false;
+    return ok && !std::ferror(out);
+}
+
+bool
+MetricsSampler::writeCsv(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const bool ok = writeCsv(f);
+    return std::fclose(f) == 0 && ok;
+}
+
+bool
+MetricsSampler::writeJson(std::FILE *out) const
+{
+    bool ok = true;
+    const auto put = [out, &ok](const char *fmt, auto... args) {
+        if (std::fprintf(out, fmt, args...) < 0)
+            ok = false;
+    };
+    put("{\n  \"interval_us\": %.3f,\n  \"times_us\": [",
+        sim::toMicros(cfg_.interval));
+    for (std::size_t s = 0; s < times_.size(); ++s)
+        put("%s%.3f", s ? ", " : "", sim::toMicros(times_[s]));
+    put("],\n  \"series\": [\n");
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        put("    {\"name\": \"%s\", \"entity\": %d, \"values\": [",
+            names_[i].c_str(), entities_[i]);
+        for (std::size_t s = 0; s < values_[i].size(); ++s) {
+            const double v = values_[i][s];
+            if (std::isnan(v))
+                put("%snull", s ? ", " : "");
+            else
+                put("%s%.6g", s ? ", " : "", v);
+        }
+        put("]}%s\n", i + 1 < names_.size() ? "," : "");
+    }
+    put("  ]\n}\n");
+    if (std::fflush(out) != 0)
+        ok = false;
+    return ok && !std::ferror(out);
+}
+
+bool
+MetricsSampler::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const bool ok = writeJson(f);
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace apc::obs

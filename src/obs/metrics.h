@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Time-series metrics: periodic sampling of fleet/server gauges into
+ * fixed-interval series.
+ *
+ * The sampler is driven from the lockstep epoch loop: after an epoch
+ * completes (a quiescent, single-threaded instant), the fleet asks
+ * `due(now)` and, if a sample interval has elapsed, calls
+ * `beginSample(now)` followed by `set()` for every gauge it can read.
+ * Series a sample never set stay NaN for that row — exported as empty
+ * CSV cells / JSON nulls — so sparse gauges (e.g. rack budget) coexist
+ * with dense ones.
+ *
+ * Sampling reads state but never mutates it (no events scheduled, no
+ * RNG), so enabling metrics cannot perturb simulation results. All
+ * sampled values derive from simulated state, making the series
+ * deterministic across thread counts.
+ */
+
+#ifndef APC_OBS_METRICS_H
+#define APC_OBS_METRICS_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace apc::obs {
+
+/** Metrics sampling setup. */
+struct MetricsConfig
+{
+    bool enabled = false;
+    /** Sampling interval in simulated time. */
+    sim::Tick interval = 1 * sim::kMs;
+    /** Record per-server gauges (power, outstanding, cap limit) in
+     *  addition to the fleet/rack aggregates. */
+    bool perServer = true;
+};
+
+/** Index of a registered series. */
+using SeriesId = std::uint32_t;
+
+/** Fixed-interval, multi-series sample store with CSV/JSON export. */
+class MetricsSampler
+{
+  public:
+    explicit MetricsSampler(MetricsConfig cfg) : cfg_(cfg) {}
+
+    /** Register a series (setup-time). @p entity tags per-server series
+     *  with the server index; -1 marks a fleet-level series. */
+    SeriesId
+    addSeries(std::string name, int entity = -1)
+    {
+        names_.push_back(std::move(name));
+        entities_.push_back(entity);
+        values_.emplace_back();
+        return static_cast<SeriesId>(names_.size() - 1);
+    }
+
+    /** True when the next sample instant has been reached. */
+    bool due(sim::Tick now) const { return now >= next_; }
+
+    /** Open a sample row at @p now: every series gets a NaN slot that
+     *  set() overwrites. Advances the next-due time. */
+    void beginSample(sim::Tick now);
+
+    /** Assign @p v to series @p id in the current (last begun) row. */
+    void
+    set(SeriesId id, double v)
+    {
+        values_[id].back() = v;
+    }
+
+    std::size_t numSeries() const { return names_.size(); }
+    std::size_t numSamples() const { return times_.size(); }
+    const std::string &seriesName(SeriesId id) const { return names_[id]; }
+    int seriesEntity(SeriesId id) const { return entities_[id]; }
+    const std::vector<sim::Tick> &times() const { return times_; }
+    const std::vector<double> &series(SeriesId id) const
+    {
+        return values_[id];
+    }
+
+    const MetricsConfig &config() const { return cfg_; }
+
+    /**
+     * Long-format CSV: `t_us,series,entity,value` — one row per set
+     * value (NaN slots are skipped; entity is empty for fleet series).
+     * @return false on any IO failure.
+     */
+    bool writeCsv(std::FILE *out) const;
+    bool writeCsv(const std::string &path) const;
+
+    /** JSON object: `{"interval_us":..., "times_us":[...],
+     *  "series":[{"name","entity","values":[...]}]}` with nulls for
+     *  unset slots. @return false on any IO failure. */
+    bool writeJson(std::FILE *out) const;
+    bool writeJson(const std::string &path) const;
+
+  private:
+    MetricsConfig cfg_;
+    sim::Tick next_ = 0;
+    std::vector<sim::Tick> times_;
+    std::vector<std::string> names_;
+    std::vector<int> entities_;
+    std::vector<std::vector<double>> values_;
+};
+
+} // namespace apc::obs
+
+#endif // APC_OBS_METRICS_H

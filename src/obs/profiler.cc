@@ -1,0 +1,56 @@
+#include "obs/profiler.h"
+
+namespace apc::obs {
+
+const char *
+PhaseProfiler::phaseName(Phase p)
+{
+    constexpr const char *names[kNumPhases] = {"route", "advance",
+                                               "merge", "collect"};
+    return names[static_cast<std::size_t>(p)];
+}
+
+void
+PhaseProfiler::beginRun(std::size_t num_shards)
+{
+    anchor_ = Clock::now();
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+        totalSec_[i] = 0.0;
+        count_[i] = 0;
+    }
+    shardSec_.assign(num_shards, 0.0);
+    spans_.clear();
+    droppedSpans_ = 0;
+}
+
+double
+PhaseProfiler::shardImbalance() const
+{
+    double max = 0.0, sum = 0.0;
+    for (double s : shardSec_) {
+        sum += s;
+        if (s > max)
+            max = s;
+    }
+    if (shardSec_.empty() || sum <= 0.0)
+        return 1.0;
+    const double mean = sum / static_cast<double>(shardSec_.size());
+    return max / mean;
+}
+
+void
+PhaseProfiler::addSpan(Phase p, Clock::time_point t0, Clock::time_point t1)
+{
+    const std::size_t idx = static_cast<std::size_t>(p);
+    totalSec_[idx] += std::chrono::duration<double>(t1 - t0).count();
+    ++count_[idx];
+    if (spans_.size() >= kMaxSpans) {
+        ++droppedSpans_;
+        return;
+    }
+    spans_.push_back(
+        {std::chrono::duration<double, std::micro>(t0 - anchor_).count(),
+         std::chrono::duration<double, std::micro>(t1 - t0).count(), p});
+}
+
+} // namespace apc::obs

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Span tracing: binary ring-buffer trace writers with interned string
+ * ids, merged deterministically and exported as Chrome/Perfetto
+ * `trace_event` JSON.
+ *
+ * Design constraints, in priority order:
+ *
+ *  1. **Zero behavioral footprint.** Recording only ever writes into a
+ *     preallocated POD ring — no RNG draws, no event scheduling, no
+ *     signal edges — so a traced run's FleetReport is byte-identical to
+ *     the untraced run.
+ *  2. **No per-event heap allocation.** A `TraceRecord` is a 48-byte
+ *     POD; the ring grows amortized up to its capacity and then wraps
+ *     (drop-oldest, counted). Names are 4-byte ids: the common
+ *     vocabulary is a static enum (`Name`), dynamic strings intern once
+ *     at setup time.
+ *  3. **Single-writer buffers.** Each fleet entity (the fleet spine,
+ *     every server) records into its own `TraceWriter`; during a
+ *     parallel advance phase a server's writer is touched only by the
+ *     worker advancing that server's shard. Merging happens after the
+ *     run, single-threaded, in `(ts, writer, seq)` order — a total
+ *     order independent of thread count and shard layout, so the merged
+ *     trace itself is deterministic (see `Tracer::digest`).
+ *
+ * Export opens in any `chrome://tracing` / https://ui.perfetto.dev
+ * viewer: one process per entity, one thread per `Track`, request
+ * lifecycles as complete spans, package power states as state spans,
+ * cap/budget actuations as counter tracks.
+ */
+
+#ifndef APC_OBS_TRACER_H
+#define APC_OBS_TRACER_H
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/interner.h"
+#include "sim/time.h"
+
+namespace apc::obs {
+
+class PhaseProfiler;
+
+/** Perfetto "thread" each record lands on within its entity. */
+enum class Track : std::uint8_t
+{
+    Requests = 0, ///< request lifecycle spans
+    Power,        ///< package power-state spans
+    Cap,          ///< power-cap limit/actuation counters
+    Nic,          ///< NIC interrupts and ring drops
+    Budget,       ///< rack budget-allocator decisions
+    Engine,       ///< wall-clock pipeline-phase spans (profiler)
+};
+
+inline constexpr std::size_t kNumTracks = 6;
+
+/** Display name for a track. */
+const char *trackName(Track t);
+
+/**
+ * Static trace vocabulary: the hot paths record these without touching
+ * the interner. Dynamic names (see Tracer::intern) get ids at or above
+ * kStaticNames.
+ */
+enum class Name : std::uint32_t
+{
+    // Request lifecycle.
+    Request = 0, ///< fleet-level span: client arrival -> delivery
+    Wait,        ///< server span: arrival -> service start
+    Serve,       ///< server span: service start -> response queued
+    Lost,        ///< instant: request dropped beyond retry
+    // Package power states (order matches soc::PkgState).
+    PkgPc0,
+    PkgPc0idle,
+    PkgAcc1,
+    PkgPc1a,
+    PkgPc2,
+    PkgPc6,
+    // NIC.
+    NicIrq,  ///< instant: moderated interrupt fired (value = batch)
+    NicDrop, ///< instant: RX ring tail drop
+    // Power capping.
+    CapLimitW, ///< counter: enforced package power limit
+    CapPowerW, ///< counter: controller's sliding-window power
+    CapClamp,  ///< counter: P-state clamp index (-1 = unclamped)
+    CapDuty,   ///< counter: forced-idle injection duty
+    // Rack budget allocation.
+    RackBudgetW,     ///< counter: rack budget in force
+    RackDemandW,     ///< counter: summed server demand
+    RackAllocW,      ///< counter: summed granted limits
+    BudgetEmergency, ///< instant: floors emergency-scaled
+    // Engine pipeline phases (wall clock; emitted via PhaseProfiler).
+    Route,
+    Advance,
+    Merge,
+    Collect,
+
+    kCount
+};
+
+/** First id available to dynamically interned names. */
+inline constexpr StrId kStaticNames = static_cast<StrId>(Name::kCount);
+
+/** Display string for a static name. */
+const char *nameString(Name n);
+
+/** Static name for package state index @p s (soc::PkgState order). */
+inline Name
+pkgStateTraceName(std::size_t s)
+{
+    return static_cast<Name>(static_cast<std::uint32_t>(Name::PkgPc0) +
+                             static_cast<std::uint32_t>(s));
+}
+
+/** Record kind; maps onto Perfetto phases 'X' / 'i' / 'C'. */
+enum class TraceKind : std::uint8_t
+{
+    Span = 0, ///< complete span [ts, ts+dur)
+    Instant,  ///< point event
+    Counter,  ///< time-series sample of `value`
+};
+
+/** One POD trace record — the only thing hot paths write. */
+struct TraceRecord
+{
+    sim::Tick ts = 0;     ///< simulated start time
+    sim::Tick dur = 0;    ///< span length (Span only)
+    std::uint64_t id = 0; ///< correlation id (request id, kind id)
+    double value = 0.0;   ///< counter value / instant payload
+    StrId name = 0;
+    std::uint32_t seq = 0; ///< per-writer recording order
+    std::uint8_t kind = 0; ///< TraceKind
+    std::uint8_t track = 0;
+    std::uint16_t pad = 0;
+};
+
+static_assert(sizeof(TraceRecord) <= 48, "trace record stays compact");
+
+/**
+ * Single-writer bounded ring of trace records. The vector grows
+ * amortized up to the capacity, then wraps over the oldest records
+ * (SoCWatch-style: a bounded trace keeps the most recent window).
+ */
+class TraceWriter
+{
+  public:
+    TraceWriter(std::uint32_t entity, std::size_t capacity)
+        : entity_(entity), cap_(capacity ? capacity : 1)
+    {
+    }
+
+    /** Lowest-level append; the span/instant/counter helpers wrap it. */
+    void
+    record(TraceKind k, Track tr, sim::Tick ts, sim::Tick dur, StrId name,
+           std::uint64_t id, double value)
+    {
+        TraceRecord r;
+        r.ts = ts;
+        r.dur = dur;
+        r.id = id;
+        r.value = value;
+        r.name = name;
+        r.seq = seq_++;
+        r.kind = static_cast<std::uint8_t>(k);
+        r.track = static_cast<std::uint8_t>(tr);
+        if (buf_.size() < cap_) {
+            buf_.push_back(r);
+        } else {
+            buf_[head_] = r;
+            if (++head_ == cap_)
+                head_ = 0;
+            wrapped_ = true;
+        }
+    }
+
+    void
+    span(sim::Tick ts, sim::Tick dur, Name n, Track tr,
+         std::uint64_t id = 0, double value = 0.0)
+    {
+        record(TraceKind::Span, tr, ts, dur, static_cast<StrId>(n), id,
+               value);
+    }
+
+    void
+    instant(sim::Tick ts, Name n, Track tr, std::uint64_t id = 0,
+            double value = 0.0)
+    {
+        record(TraceKind::Instant, tr, ts, 0, static_cast<StrId>(n), id,
+               value);
+    }
+
+    void
+    counter(sim::Tick ts, Name n, Track tr, double value)
+    {
+        record(TraceKind::Counter, tr, ts, 0, static_cast<StrId>(n), 0,
+               value);
+    }
+
+    std::uint32_t entity() const { return entity_; }
+
+    /** Records ever appended (including since-overwritten ones). */
+    std::uint64_t recorded() const { return seq_; }
+
+    /** Records lost to ring wrap-around. */
+    std::uint64_t dropped() const { return seq_ - buf_.size(); }
+
+    /** Live records. */
+    std::size_t size() const { return buf_.size(); }
+
+    /** Visit live records oldest-first (recording order). */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        if (!wrapped_) {
+            for (const TraceRecord &r : buf_)
+                fn(r);
+            return;
+        }
+        for (std::size_t i = head_; i < buf_.size(); ++i)
+            fn(buf_[i]);
+        for (std::size_t i = 0; i < head_; ++i)
+            fn(buf_[i]);
+    }
+
+  private:
+    std::vector<TraceRecord> buf_;
+    std::uint32_t entity_;
+    std::size_t cap_;
+    std::size_t head_ = 0;
+    bool wrapped_ = false;
+    std::uint32_t seq_ = 0;
+};
+
+/** Tracer setup. */
+struct TraceConfig
+{
+    bool enabled = false;
+    /** Per-writer ring capacity in records (48 B each). Memory is only
+     *  committed as records are written; full rings wrap. */
+    std::size_t ringCapacity = 1u << 16;
+};
+
+/**
+ * The fleet-wide tracer: one writer per entity plus the shared name
+ * table, merge, and Perfetto export.
+ */
+class Tracer
+{
+  public:
+    /** @param num_writers writer 0 is conventionally the fleet spine;
+     *  1..N the servers. */
+    Tracer(TraceConfig cfg, std::size_t num_writers);
+
+    TraceWriter *writer(std::size_t i) { return writers_[i].get(); }
+    const TraceWriter *writer(std::size_t i) const
+    {
+        return writers_[i].get();
+    }
+    std::size_t numWriters() const { return writers_.size(); }
+
+    /** Intern a dynamic name (setup-time only; not thread-safe). */
+    StrId
+    intern(std::string_view s)
+    {
+        return kStaticNames + interner_.intern(s);
+    }
+
+    /** Resolve any name id (static enum or dynamic). */
+    const char *nameOf(StrId id) const;
+
+    /** Display label for a writer's entity in the export ("fleet",
+     *  "server 3", ...). Defaults to "writer N". */
+    void setEntityLabel(std::size_t writer, std::string label);
+
+    std::uint64_t totalRecorded() const;
+    std::uint64_t totalDropped() const;
+
+    /** One merged record with its originating writer index. */
+    struct MergedRecord
+    {
+        const TraceRecord *rec;
+        std::uint32_t writer;
+    };
+
+    /** All live records in `(ts, writer, seq)` order — the canonical
+     *  deterministic merge the export and digest use. */
+    std::vector<MergedRecord> merged() const;
+
+    /**
+     * FNV-1a digest over the merged semantic payload (timestamps,
+     * names, ids, values — never wall-clock). Equal digests across
+     * thread counts are the tracing determinism contract.
+     */
+    std::uint64_t digest() const;
+
+    /**
+     * Export as Chrome/Perfetto trace_event JSON. @p engine, when
+     * given, appends the profiler's wall-clock pipeline-phase spans as
+     * an extra "engine" process. @return false on any IO failure.
+     */
+    bool writePerfettoJson(std::FILE *out,
+                           const PhaseProfiler *engine = nullptr) const;
+    bool writePerfettoJson(const std::string &path,
+                           const PhaseProfiler *engine = nullptr) const;
+
+    const TraceConfig &config() const { return cfg_; }
+
+  private:
+    TraceConfig cfg_;
+    StringInterner interner_;
+    std::vector<std::unique_ptr<TraceWriter>> writers_;
+    std::vector<std::string> labels_;
+};
+
+} // namespace apc::obs
+
+#endif // APC_OBS_TRACER_H

@@ -154,6 +154,12 @@ ServerSim::serveFront(std::size_t idx, bool was_active)
     const Request r = ctx.queue.front();
     ctx.queue.pop_front();
 
+    const sim::Tick t0 = sim_.now();
+    if (trace_)
+        trace_->span(r.arrival, t0 - r.arrival, obs::Name::Wait,
+                     obs::Track::Requests,
+                     r.id == kNoRequestId ? 0 : r.id);
+
     sim::Tick work = r.service
         + (was_active ? 0
                       : (r.coalesced ? cfg_.workload.wakeOverheadCoalesced
@@ -167,12 +173,16 @@ ServerSim::serveFront(std::size_t idx, bool was_active)
     // The request completes when the local work has run *and* any
     // remote memory access has returned over UPI.
     auto pending = std::make_shared<int>(1);
-    auto finish = [this, idx, r, &mc, pending] {
+    auto finish = [this, idx, r, t0, &mc, pending] {
         if (--*pending > 0)
             return;
         mc.endAccess();
         ++completed_;
         recordLatency(sim_.now() - r.arrival + cfg_.networkLatency);
+        if (trace_)
+            trace_->span(t0, sim_.now() - t0, obs::Name::Serve,
+                         obs::Track::Requests,
+                         r.id == kNoRequestId ? 0 : r.id);
         if (nic_) {
             // Response TX through the NIC: the request completes (and
             // the fleet's response enters the fabric) when the packet
@@ -321,9 +331,17 @@ ServerSim::applyCorePower(std::size_t idx)
 void
 ServerSim::applyCapActuation(const cap::CapActuation &act)
 {
+    if (trace_ && act.idleDuty != capDuty_)
+        trace_->counter(sim_.now(), obs::Name::CapDuty, obs::Track::Cap,
+                        act.idleDuty);
     capDuty_ = act.idleDuty;
     if (act.pstateClamp == capClamp_)
         return;
+    if (trace_)
+        trace_->counter(sim_.now(), obs::Name::CapClamp, obs::Track::Cap,
+                        act.pstateClamp >= pstates_.size()
+                            ? -1.0
+                            : static_cast<double>(act.pstateClamp));
     const sim::Tick now = sim_.now();
     clampLossIntegral_ +=
         static_cast<double>(now - clampLossSince_) * clampLossRate_;
@@ -344,6 +362,9 @@ ServerSim::scheduleCapSample()
         const auto s = soc_->rapl().readCounter(power::Plane::Package);
         const double w = soc_->rapl().averagePower(capPrev_, s);
         capPrev_ = s;
+        if (trace_)
+            trace_->counter(sim_.now(), obs::Name::CapPowerW,
+                            obs::Track::Cap, w);
         applyCapActuation(cap_->onSample(sim_.now(), w));
     });
 }
@@ -383,6 +404,9 @@ ServerSim::setPowerLimit(double watts)
 {
     if (!cap_)
         return;
+    if (trace_)
+        trace_->counter(sim_.now(), obs::Name::CapLimitW,
+                        obs::Track::Cap, watts);
     cap_->setLimit(watts, sim_.now());
     applyCapActuation(cap_->actuation());
 }
@@ -397,6 +421,53 @@ double
 ServerSim::capPowerW() const
 {
     return cap_ ? cap_->windowPowerW() : 0.0;
+}
+
+void
+ServerSim::enableTracing(obs::TraceWriter *w)
+{
+    trace_ = w;
+    // Components inside this simulation (the NIC) find the sink here.
+    sim_.setTrace(w);
+    // Package power-state spans: piggyback on the same triggers Soc
+    // uses to recompute pkgState(). Signal subscription appends, so
+    // the SoC's own observers are unaffected.
+    tracePkg_ = static_cast<std::size_t>(soc_->pkgState());
+    tracePkgSince_ = sim_.now();
+    soc_->allIdle().subscribe([this](bool) { tracePkgState(); });
+    soc_->gpmu().onStateChange(
+        [this](uncore::Gpmu::State) { tracePkgState(); });
+    if (auto *apmu = soc_->apmu())
+        apmu->onStateChange(
+            [this](core::Apmu::State) { tracePkgState(); });
+}
+
+void
+ServerSim::tracePkgState()
+{
+    const auto s = static_cast<std::size_t>(soc_->pkgState());
+    if (s == tracePkg_)
+        return;
+    const sim::Tick now = sim_.now();
+    if (now > tracePkgSince_)
+        trace_->span(tracePkgSince_, now - tracePkgSince_,
+                     obs::pkgStateTraceName(tracePkg_),
+                     obs::Track::Power);
+    tracePkg_ = s;
+    tracePkgSince_ = now;
+}
+
+void
+ServerSim::traceFlush()
+{
+    if (!trace_)
+        return;
+    const sim::Tick now = sim_.now();
+    if (now > tracePkgSince_)
+        trace_->span(tracePkgSince_, now - tracePkgSince_,
+                     obs::pkgStateTraceName(tracePkg_),
+                     obs::Track::Power);
+    tracePkgSince_ = now;
 }
 
 void

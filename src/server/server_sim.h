@@ -25,6 +25,7 @@
 #include "sim/inline_function.h"
 #include "cpu/pstate.h"
 #include "net/nic.h"
+#include "obs/tracer.h"
 #include "power/rapl.h"
 #include "soc/soc.h"
 #include "stats/histogram.h"
@@ -301,6 +302,19 @@ class ServerSim
     /** The cap controller; null unless cfg.cap.enabled. */
     cap::PowerCapController *capController() { return cap_.get(); }
 
+    /**
+     * Route this server's telemetry into @p w (call before start()).
+     * Installs the writer as the simulation-wide trace sink (NIC
+     * events), subscribes package-state tracking, and turns on the
+     * request/cap instrumentation. Tracing only appends POD records —
+     * it never schedules events or draws randomness, so a traced run's
+     * results are identical to an untraced one.
+     */
+    void enableTracing(obs::TraceWriter *w);
+
+    /** Close the open package-state span (end of run). */
+    void traceFlush();
+
     /** Requests handed to the server (injected or internal arrivals). */
     std::uint64_t accepted() const { return accepted_; }
 
@@ -369,6 +383,8 @@ class ServerSim
     void applyCorePower(std::size_t idx);
     /** Restart admission on every core after the gate opens. */
     void pumpAll();
+    /** Emit the span of the package state just left (on change). */
+    void tracePkgState();
 
     ServerConfig cfg_;
     sim::Simulation sim_;
@@ -405,6 +421,10 @@ class ServerSim
     double clampLossRate_ = 0.0;     ///< 1 - f_clamp/f_nom while clamped
     double clampLossIntegral_ = 0.0; ///< ticks * loss rate accumulator
     sim::Tick clampLossSince_ = 0;
+    // Telemetry (null/idle unless enableTracing() was called).
+    obs::TraceWriter *trace_ = nullptr;
+    std::size_t tracePkg_ = 0;      ///< pkg state the open span is in
+    sim::Tick tracePkgSince_ = 0;   ///< open pkg-state span start
 };
 
 } // namespace apc::server

@@ -16,6 +16,10 @@
 #include "sim/rng.h"
 #include "sim/time.h"
 
+namespace apc::obs {
+class TraceWriter;
+}
+
 namespace apc::sim {
 
 /** Top-level simulation context. */
@@ -62,9 +66,18 @@ class Simulation
     /** Simulation-wide random number generator. */
     Rng &rng() { return rng_; }
 
+    /**
+     * Trace sink for components living inside this simulation (NIC,
+     * memory controllers, ...). Null when tracing is off; recording
+     * through it never perturbs simulation behavior (obs/tracer.h).
+     */
+    obs::TraceWriter *trace() const { return trace_; }
+    void setTrace(obs::TraceWriter *w) { trace_ = w; }
+
   private:
     EventQueue events_;
     Rng rng_;
+    obs::TraceWriter *trace_ = nullptr;
 };
 
 } // namespace apc::sim

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Observability tests: string interner, trace ring-buffer semantics,
+ * deterministic merge/digest, Perfetto export shape, metrics sampler,
+ * phase profiler — and the contract that matters most: tracing and
+ * metrics have ZERO behavioral footprint (fleet reports byte-identical
+ * with observability on or off, at any thread count), while the trace
+ * itself is identical across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_sim.h"
+#include "obs/interner.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/tracer.h"
+
+namespace apc {
+namespace {
+
+using sim::kMs;
+using sim::kUs;
+
+// ------------------------------------------------------------- interner
+
+TEST(StringInterner, IdsAreStableAndDeduplicated)
+{
+    obs::StringInterner in;
+    const obs::StrId a = in.intern("alpha");
+    const obs::StrId b = in.intern("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(in.intern("alpha"), a); // dedup
+    EXPECT_EQ(in.str(a), "alpha");
+    EXPECT_EQ(in.str(b), "beta");
+    EXPECT_EQ(in.find("beta"), b);
+    EXPECT_EQ(in.find("gamma"), obs::kNoStr);
+    EXPECT_EQ(in.size(), 2u);
+}
+
+// ----------------------------------------------------------- ring buffer
+
+TEST(TraceWriter, WrapsOverOldestAndCountsDrops)
+{
+    obs::TraceWriter w(0, 4);
+    for (int i = 0; i < 6; ++i)
+        w.instant(i * kUs, obs::Name::NicIrq, obs::Track::Nic,
+                  static_cast<std::uint64_t>(i));
+    EXPECT_EQ(w.size(), 4u);
+    EXPECT_EQ(w.recorded(), 6u);
+    EXPECT_EQ(w.dropped(), 2u);
+    // Oldest-first visitation: the two earliest records were evicted.
+    std::vector<std::uint64_t> ids;
+    w.forEach([&ids](const obs::TraceRecord &r) { ids.push_back(r.id); });
+    EXPECT_EQ(ids, (std::vector<std::uint64_t>{2, 3, 4, 5}));
+}
+
+TEST(TraceWriter, SeqPreservesRecordingOrder)
+{
+    obs::TraceWriter w(3, 16);
+    w.span(5 * kUs, 2 * kUs, obs::Name::Serve, obs::Track::Requests, 7);
+    w.counter(1 * kUs, obs::Name::CapLimitW, obs::Track::Cap, 42.5);
+    std::vector<std::uint32_t> seqs;
+    w.forEach(
+        [&seqs](const obs::TraceRecord &r) { seqs.push_back(r.seq); });
+    EXPECT_EQ(seqs, (std::vector<std::uint32_t>{0, 1}));
+}
+
+// -------------------------------------------------------- merge + digest
+
+TEST(Tracer, MergeIsTimeWriterSeqOrdered)
+{
+    obs::TraceConfig tc;
+    tc.enabled = true;
+    obs::Tracer tr(tc, 2);
+    // Writer streams are recording-ordered, not time-ordered (spans are
+    // recorded at completion with ts = start).
+    tr.writer(0)->instant(200 * kUs, obs::Name::NicIrq, obs::Track::Nic);
+    tr.writer(0)->instant(100 * kUs, obs::Name::NicIrq, obs::Track::Nic);
+    tr.writer(1)->instant(100 * kUs, obs::Name::NicDrop, obs::Track::Nic);
+    tr.writer(1)->instant(150 * kUs, obs::Name::NicDrop, obs::Track::Nic);
+
+    const auto m = tr.merged();
+    ASSERT_EQ(m.size(), 4u);
+    EXPECT_EQ(m[0].rec->ts, 100 * kUs);
+    EXPECT_EQ(m[0].writer, 0u);
+    EXPECT_EQ(m[1].rec->ts, 100 * kUs);
+    EXPECT_EQ(m[1].writer, 1u);
+    EXPECT_EQ(m[2].rec->ts, 150 * kUs);
+    EXPECT_EQ(m[3].rec->ts, 200 * kUs);
+
+    // Digest covers the semantic payload: same content -> same digest,
+    // different content -> (overwhelmingly) different digest.
+    const std::uint64_t d = tr.digest();
+    EXPECT_EQ(d, tr.digest());
+    tr.writer(0)->instant(300 * kUs, obs::Name::NicIrq, obs::Track::Nic);
+    EXPECT_NE(d, tr.digest());
+}
+
+TEST(Tracer, DynamicNamesResolveAboveStaticVocabulary)
+{
+    obs::Tracer tr({}, 1);
+    const obs::StrId id = tr.intern("custom.metric");
+    EXPECT_GE(id, obs::kStaticNames);
+    EXPECT_STREQ(tr.nameOf(id), "custom.metric");
+    EXPECT_STREQ(
+        tr.nameOf(static_cast<obs::StrId>(obs::Name::Request)), "request");
+    EXPECT_STREQ(tr.nameOf(static_cast<obs::StrId>(obs::Name::PkgPc1a)),
+                 "PC1A");
+}
+
+// -------------------------------------------------------- Perfetto export
+
+TEST(Tracer, PerfettoExportShape)
+{
+    obs::TraceConfig tc;
+    tc.enabled = true;
+    obs::Tracer tr(tc, 2);
+    tr.setEntityLabel(0, "fleet");
+    tr.setEntityLabel(1, "server 0");
+    tr.writer(0)->span(10 * kUs, 5 * kUs, obs::Name::Request,
+                       obs::Track::Requests, 99);
+    tr.writer(1)->instant(12 * kUs, obs::Name::NicDrop, obs::Track::Nic,
+                          3);
+    tr.writer(1)->counter(14 * kUs, obs::Name::CapLimitW, obs::Track::Cap,
+                          85.0);
+
+    char *buf = nullptr;
+    std::size_t len = 0;
+    std::FILE *f = open_memstream(&buf, &len);
+    ASSERT_TRUE(tr.writePerfettoJson(f));
+    std::fclose(f);
+    std::string out(buf, len);
+    free(buf);
+
+    EXPECT_NE(out.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+    // Metadata names both entities and their used tracks.
+    EXPECT_NE(out.find("\"args\":{\"name\":\"fleet\"}"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"args\":{\"name\":\"server 0\"}"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"args\":{\"name\":\"requests\"}"),
+              std::string::npos);
+    // One record of each phase kind.
+    EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"request\""), std::string::npos);
+    // Span timestamps are exported in microseconds.
+    EXPECT_NE(out.find("\"ts\":10.0000"), std::string::npos);
+    EXPECT_NE(out.find("\"dur\":5.0000"), std::string::npos);
+}
+
+TEST(Tracer, PerfettoExportReportsIoFailure)
+{
+    obs::Tracer tr({}, 1);
+    tr.writer(0)->instant(0, obs::Name::NicIrq, obs::Track::Nic);
+    EXPECT_FALSE(tr.writePerfettoJson("/nonexistent/dir/trace.json"));
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(MetricsSampler, SamplesOnIntervalAndSkipsUnset)
+{
+    obs::MetricsConfig mc;
+    mc.enabled = true;
+    mc.interval = 1 * kMs;
+    obs::MetricsSampler m(mc);
+    const auto power = m.addSeries("fleet.pkg_power_w");
+    const auto budget = m.addSeries("rack.budget_w");
+    const auto srv = m.addSeries("server.outstanding", 3);
+
+    EXPECT_TRUE(m.due(0));
+    m.beginSample(0);
+    m.set(power, 120.5);
+    m.set(srv, 4);
+    // budget left NaN this row.
+    EXPECT_FALSE(m.due(1 * kMs - 1));
+    EXPECT_TRUE(m.due(1 * kMs));
+    m.beginSample(1 * kMs);
+    m.set(power, 118.25);
+    m.set(budget, 400.0);
+
+    ASSERT_EQ(m.numSamples(), 2u);
+    ASSERT_EQ(m.numSeries(), 3u);
+    EXPECT_TRUE(std::isnan(m.series(budget)[0]));
+    EXPECT_EQ(m.series(budget)[1], 400.0);
+    EXPECT_TRUE(std::isnan(m.series(srv)[1]));
+
+    char *buf = nullptr;
+    std::size_t len = 0;
+    std::FILE *f = open_memstream(&buf, &len);
+    ASSERT_TRUE(m.writeCsv(f));
+    std::fclose(f);
+    std::string csv(buf, len);
+    free(buf);
+    EXPECT_NE(csv.find("t_us,series,entity,value"), std::string::npos);
+    EXPECT_NE(csv.find("fleet.pkg_power_w,,120.5"), std::string::npos);
+    EXPECT_NE(csv.find("server.outstanding,3,4"), std::string::npos);
+    // The NaN slot produced no row: budget appears exactly once.
+    EXPECT_EQ(csv.find("rack.budget_w"), csv.rfind("rack.budget_w"));
+
+    f = open_memstream(&buf, &len);
+    ASSERT_TRUE(m.writeJson(f));
+    std::fclose(f);
+    std::string json(buf, len);
+    free(buf);
+    EXPECT_NE(json.find("\"interval_us\""), std::string::npos);
+    EXPECT_NE(json.find("null"), std::string::npos); // NaN -> JSON null
+    EXPECT_FALSE(m.writeCsv("/nonexistent/dir/metrics.csv"));
+}
+
+// -------------------------------------------------------------- profiler
+
+TEST(PhaseProfiler, AccumulatesAndComputesImbalance)
+{
+    obs::PhaseProfiler p;
+    p.enable(true);
+    p.beginRun(4);
+    { auto s = p.scope(obs::PhaseProfiler::Phase::Route); }
+    { auto s = p.scope(obs::PhaseProfiler::Phase::Route); }
+    EXPECT_EQ(p.count(obs::PhaseProfiler::Phase::Route), 2u);
+    EXPECT_GE(p.totalSec(obs::PhaseProfiler::Phase::Route), 0.0);
+    EXPECT_EQ(p.count(obs::PhaseProfiler::Phase::Merge), 0u);
+
+    // max / mean: (4.0) / ((1+1+2+4)/4) = 2.0
+    p.addShardTime(0, 1.0);
+    p.addShardTime(1, 1.0);
+    p.addShardTime(2, 2.0);
+    p.addShardTime(3, 4.0);
+    EXPECT_DOUBLE_EQ(p.shardImbalance(), 2.0);
+
+    // beginRun clears prior measurements.
+    p.beginRun(2);
+    EXPECT_EQ(p.count(obs::PhaseProfiler::Phase::Route), 0u);
+    EXPECT_DOUBLE_EQ(p.shardImbalance(), 1.0);
+}
+
+// ------------------------------------ zero-footprint contract at scale
+
+fleet::FleetConfig
+bigFleet(unsigned threads, std::size_t shard_size, bool observed)
+{
+    fleet::FleetConfig fc;
+    fc.numServers = 1024;
+    fc.policy = soc::PackagePolicy::Cpc1a;
+    fc.workload = workload::WorkloadConfig::memcachedEtc(0);
+    fc.dispatch = fleet::DispatchKind::LeastOutstanding;
+    fc.traffic.arrivalKind = workload::ArrivalKind::Poisson;
+    fc.traffic.qps = fc.workload.qpsForUtilization(
+        0.05, static_cast<int>(fc.numServers) * 10);
+    fc.traffic.fanout = {0.05, 4};
+    fc.sloUs = 10000.0;
+    fc.warmup = 4 * kMs;
+    fc.duration = 12 * kMs;
+    fc.seed = 77;
+    fc.threads = threads;
+    fc.shardSize = shard_size;
+    fc.trace.enabled = observed;
+    fc.metrics.enabled = observed;
+    fc.metrics.interval = 2 * kMs;
+    return fc;
+}
+
+std::string
+metricsCsv(const fleet::FleetSim &fleet)
+{
+    char *buf = nullptr;
+    std::size_t len = 0;
+    std::FILE *f = open_memstream(&buf, &len);
+    EXPECT_TRUE(fleet.metrics()->writeCsv(f));
+    std::fclose(f);
+    std::string out(buf, len);
+    free(buf);
+    return out;
+}
+
+TEST(ObsFleet, TracingHasZeroFootprintAndIsThreadCountInvariant)
+{
+    // Untraced baseline: the report bytes every observed run must match.
+    const fleet::FleetReport untraced =
+        fleet::FleetSim(bigFleet(1, 0, false)).run();
+    const std::string reference = untraced.csvRow();
+
+    struct Point
+    {
+        unsigned threads;
+        std::size_t shardSize;
+    };
+    std::uint64_t ref_digest = 0;
+    std::string ref_metrics;
+    for (const Point &p :
+         std::vector<Point>{{1, 0}, {2, 7}, {8, 64}}) {
+        fleet::FleetSim fleet(bigFleet(p.threads, p.shardSize, true));
+        const fleet::FleetReport rep = fleet.run();
+        ASSERT_GT(rep.dispatched, 1000u);
+        // Zero behavioral footprint: byte-identical to the untraced run.
+        EXPECT_EQ(rep.csvRow(), reference)
+            << "threads=" << p.threads << " shardSize=" << p.shardSize;
+        // The trace itself is thread-count invariant.
+        ASSERT_NE(fleet.tracer(), nullptr);
+        EXPECT_GT(fleet.tracer()->totalRecorded(), 1000u);
+        ASSERT_NE(fleet.metrics(), nullptr);
+        EXPECT_GT(fleet.metrics()->numSamples(), 2u);
+        const std::uint64_t d = fleet.tracer()->digest();
+        const std::string mcsv = metricsCsv(fleet);
+        if (ref_digest == 0) {
+            ref_digest = d;
+            ref_metrics = mcsv;
+        } else {
+            EXPECT_EQ(d, ref_digest)
+                << "trace digest differs at threads=" << p.threads;
+            EXPECT_EQ(mcsv, ref_metrics)
+                << "metrics differ at threads=" << p.threads;
+        }
+    }
+}
+
+TEST(ObsFleet, WriteTraceExportsFullVocabulary)
+{
+    auto fc = bigFleet(2, 16, true);
+    fc.numServers = 32;
+    fc.traffic.qps = fc.workload.qpsForUtilization(
+        0.10, static_cast<int>(fc.numServers) * 10);
+    fc.duration = 8 * kMs;
+    fleet::FleetSim fleet(fc);
+    (void)fleet.run();
+
+    const std::string path = "/tmp/apc_test_obs_trace.json";
+    ASSERT_TRUE(fleet.writeTrace(path));
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string out;
+    char chunk[4096];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        out.append(chunk, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    // Request lifecycle spans, package power-state spans, and the
+    // engine's wall-clock pipeline phases all made it into the export.
+    EXPECT_NE(out.find("\"name\":\"request\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"PC1A\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"route\""), std::string::npos);
+    EXPECT_NE(out.find("engine (wall clock)"), std::string::npos);
+    EXPECT_NE(out.find("\"args\":{\"name\":\"server 0\"}"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace apc

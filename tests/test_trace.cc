@@ -72,6 +72,43 @@ TEST(TraceRecorder, CsvRoundTrip)
               trace.events().size() + 1);
 }
 
+TEST(TraceRecorder, BoundedCapacityDropsOldestAndCounts)
+{
+    sim::Simulation s;
+    auto cfg = soc::SkxConfig::forPolicy(soc::PackagePolicy::Cpc1a);
+    soc::Soc soc(s, cfg, soc::PackagePolicy::Cpc1a);
+    analysis::TraceRecorder trace(soc, false, 8); // tiny ring
+    for (std::size_t i = 0; i < soc.numCores(); ++i)
+        soc.core(i).release();
+    // Repeated sleep/wake cycles overflow an 8-record ring.
+    for (int i = 0; i < 6; ++i) {
+        s.runUntil(s.now() + 10 * kUs);
+        soc.nic().transfer(100 * kNs, nullptr);
+    }
+    s.runUntil(s.now() + 10 * kUs);
+    EXPECT_EQ(trace.size(), 8u);
+    EXPECT_GT(trace.droppedEvents(), 0u);
+    // The surviving window is still time-ordered.
+    const auto evs = trace.events();
+    for (std::size_t i = 1; i < evs.size(); ++i)
+        EXPECT_LE(evs[i - 1].when, evs[i].when);
+}
+
+TEST(TraceRecorder, WriteCsvReportsIoFailure)
+{
+    sim::Simulation s;
+    auto cfg = soc::SkxConfig::forPolicy(soc::PackagePolicy::Cpc1a);
+    soc::Soc soc(s, cfg, soc::PackagePolicy::Cpc1a);
+    analysis::TraceRecorder trace(soc);
+    for (std::size_t i = 0; i < soc.numCores(); ++i)
+        soc.core(i).release();
+    s.runUntil(10 * kUs);
+    EXPECT_FALSE(trace.writeCsv("/nonexistent/dir/trace.csv"));
+    const std::string path = "/tmp/apc_test_trace_csv.csv";
+    EXPECT_TRUE(trace.writeCsv(path));
+    std::remove(path.c_str());
+}
+
 TEST(TraceRecorder, PerCoreTracingOptIn)
 {
     sim::Simulation s;
