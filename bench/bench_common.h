@@ -20,6 +20,7 @@
 #include "analysis/paper_reference.h"
 #include "analysis/table_printer.h"
 #include "fleet/fleet_sim.h"
+#include "obs/fmt.h"
 #include "server/server_sim.h"
 
 namespace apc::bench {
@@ -103,6 +104,59 @@ fleetCols(const fleet::FleetReport &r)
             r.p99LatencyUs <= r.sloUs ? "yes" : "NO",
             TablePrinter::percent(r.pc1aResidency()),
             TablePrinter::num(r.achievedQps, 0)};
+}
+
+/** Schema revision stamped into every BENCH_*.json summary. Bump when
+ *  a field is added/renamed so trajectory tooling can gate on it. */
+inline constexpr int kBenchJsonSchemaVersion = 2;
+
+/**
+ * Turn on tail-latency attribution for a bench fleet run. Attribution
+ * implies tracing, which is zero-footprint (the report stays
+ * byte-identical), but bench windows are seconds-scale, so give the
+ * rings enough headroom that the fleet spine does not wrap and drop
+ * the oldest request chains. Memory is committed only as records are
+ * written.
+ */
+inline void
+enableAttribution(fleet::FleetConfig &fc,
+                  std::size_t ring_capacity = std::size_t{1} << 22)
+{
+    fc.attribution.enabled = true;
+    fc.trace.ringCapacity = ring_capacity;
+}
+
+/**
+ * Tail blame block for the bench tables: mean above-p99 microseconds
+ * charged to two segments of interest, plus the segment dominating
+ * tail critical paths overall.
+ */
+inline std::vector<std::string>
+blameCols(const fleet::FleetReport &r, obs::Segment a, obs::Segment b)
+{
+    using analysis::TablePrinter;
+    return {TablePrinter::num(r.attribution.tailMeanUs(a), 1),
+            TablePrinter::num(r.attribution.tailMeanUs(b), 1),
+            obs::segmentName(r.attribution.tailDominant())};
+}
+
+/** CSV fields matching blameCsvCols(). */
+inline std::string
+blameCsvHeader(obs::Segment a, obs::Segment b)
+{
+    return std::string("tail_") + obs::segmentName(a) + "_us,tail_" +
+        obs::segmentName(b) + "_us,tail_dominant";
+}
+
+/** Round-trip-exact CSV row fragment for the blame columns. */
+inline std::string
+blameCsvCols(const fleet::FleetReport &r, obs::Segment a,
+             obs::Segment b)
+{
+    return std::string(obs::fmtDouble(r.attribution.tailMeanUs(a))
+                           .c_str()) +
+        "," + obs::fmtDouble(r.attribution.tailMeanUs(b)).c_str() +
+        "," + obs::segmentName(r.attribution.tailDominant());
 }
 
 /**

@@ -40,30 +40,42 @@ main()
                    "dispatch policy");
     std::vector<std::string> header{"Load", "Policy"};
     bench::appendCols(header, bench::fleetColHeaders());
+    bench::appendCols(header, {"t.wake us", "t.queue us",
+                               "tail blame"});
     t.header(std::move(header));
 
     std::FILE *csv = bench::csvSink();
     if (csv)
-        std::fprintf(csv, "load,policy,%s\n",
-                     fleet::FleetReport::csvHeader().c_str());
+        std::fprintf(csv, "load,policy,%s,%s\n",
+                     fleet::FleetReport::csvHeader().c_str(),
+                     bench::blameCsvHeader(obs::Segment::Wake,
+                                           obs::Segment::Queue)
+                         .c_str());
 
     double rr_w_low = 0, pk_w_low = 0;
     for (const double load : loads) {
         for (const auto kind : kinds) {
-            const auto r =
-                fleet::FleetSim(bench::fleetLoadConfig(
-                                    8, kind, load,
-                                    workload::WorkloadConfig::mysqlOltp(
-                                        0)))
-                    .run();
+            auto fc = bench::fleetLoadConfig(
+                8, kind, load, workload::WorkloadConfig::mysqlOltp(0));
+            // Does packing's deep idle cost wake latency at the tail,
+            // or does spreading's lukewarm fleet queue more? The blame
+            // columns answer it per point.
+            bench::enableAttribution(fc);
+            const auto r = fleet::FleetSim(std::move(fc)).run();
             std::vector<std::string> row{TablePrinter::percent(load, 0),
                                          fleet::dispatchName(kind)};
             bench::appendCols(row, bench::fleetCols(r));
+            bench::appendCols(row,
+                              bench::blameCols(r, obs::Segment::Wake,
+                                               obs::Segment::Queue));
             t.row(std::move(row));
             if (csv)
-                std::fprintf(csv, "%.2f,%s,%s\n", load,
+                std::fprintf(csv, "%.2f,%s,%s,%s\n", load,
                              fleet::dispatchName(kind),
-                             r.csvRow().c_str());
+                             r.csvRow().c_str(),
+                             bench::blameCsvCols(r, obs::Segment::Wake,
+                                                 obs::Segment::Queue)
+                                 .c_str());
             if (load == 0.10) {
                 if (kind == fleet::DispatchKind::RoundRobin)
                     rr_w_low = r.totalPowerW();

@@ -128,6 +128,7 @@ writeJson(const char *path, const std::vector<Cell> &grid,
             ok = false;
     };
     put("{\n  \"bench\": \"fleet_scale\",\n");
+    put("  \"schema_version\": %d,\n", bench::kBenchJsonSchemaVersion);
     put("  \"engine\": \"sharded\",\n");
     put("  \"deterministic_across_grid\": %s,\n",
         deterministic ? "true" : "false");

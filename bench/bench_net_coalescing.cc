@@ -35,6 +35,9 @@ runPoint(double util, sim::Tick rx_usecs)
     fc.nic.enabled = true;
     fc.nic.rxUsecs = rx_usecs;
     fc.nic.rxFrames = 64; // high threshold: the timer sets the window
+    // Attribution splits each request's tail cost into causal segments
+    // — the ring-wait vs package-wake trade-off measured directly.
+    bench::enableAttribution(fc);
     return fleet::FleetSim(fc).run();
 }
 
@@ -53,12 +56,16 @@ main()
                    "MMPP arrivals, C_PC1A servers — rx-usecs vs "
                    "p99 / PC1A residency / J/req");
     t.header({"Load", "rx-usecs", "irq/s/srv", "pkts/irq", "p99 (us)",
-              "PC1A res", "Fleet W", "J/req", "lost"});
+              "PC1A res", "Fleet W", "J/req", "lost", "t.ring us",
+              "t.wake us", "tail blame"});
 
     std::FILE *csv = bench::csvSink();
     if (csv)
-        std::fprintf(csv, "load,rx_usecs,%s\n",
-                     fleet::FleetReport::csvHeader().c_str());
+        std::fprintf(csv, "load,rx_usecs,%s,%s\n",
+                     fleet::FleetReport::csvHeader().c_str(),
+                     bench::blameCsvHeader(obs::Segment::NicRing,
+                                           obs::Segment::Wake)
+                         .c_str());
 
     const double window_s =
         sim::toSeconds(bench::benchDuration(300 * sim::kMs));
@@ -73,20 +80,29 @@ main()
             wide = r;
             const double irq_rate = static_cast<double>(r.nicInterrupts)
                 / (window_s * static_cast<double>(r.numServers));
-            t.row({TablePrinter::percent(load, 0),
-                   TablePrinter::num(static_cast<double>(w), 0),
-                   TablePrinter::num(irq_rate, 0),
-                   TablePrinter::num(r.nicPktsPerIrq.mean(), 2),
-                   TablePrinter::num(r.p99LatencyUs, 0),
-                   TablePrinter::percent(r.pc1aResidency()),
-                   TablePrinter::watts(r.totalPowerW()),
-                   TablePrinter::num(r.joulesPerRequest, 4),
-                   TablePrinter::num(
-                       static_cast<double>(r.lostRequests), 0)});
+            std::vector<std::string> row{
+                TablePrinter::percent(load, 0),
+                TablePrinter::num(static_cast<double>(w), 0),
+                TablePrinter::num(irq_rate, 0),
+                TablePrinter::num(r.nicPktsPerIrq.mean(), 2),
+                TablePrinter::num(r.p99LatencyUs, 0),
+                TablePrinter::percent(r.pc1aResidency()),
+                TablePrinter::watts(r.totalPowerW()),
+                TablePrinter::num(r.joulesPerRequest, 4),
+                TablePrinter::num(static_cast<double>(r.lostRequests),
+                                  0)};
+            bench::appendCols(row,
+                              bench::blameCols(r, obs::Segment::NicRing,
+                                               obs::Segment::Wake));
+            t.row(std::move(row));
             if (csv)
-                std::fprintf(csv, "%.2f,%lld,%s\n", load,
+                std::fprintf(csv, "%.2f,%lld,%s,%s\n", load,
                              static_cast<long long>(w),
-                             r.csvRow().c_str());
+                             r.csvRow().c_str(),
+                             bench::blameCsvCols(r,
+                                                 obs::Segment::NicRing,
+                                                 obs::Segment::Wake)
+                                 .c_str());
         }
         endpoints.emplace_back(std::move(base), std::move(wide));
     }
@@ -96,7 +112,8 @@ main()
     for (std::size_t i = 0; i < endpoints.size(); ++i) {
         const auto &[base, wide] = endpoints[i];
         std::printf("\nAt %2.0f%%: rx-usecs %lld -> %lld moves PC1A "
-                    "%s -> %s, J/req %.4f -> %.4f, p99 %+0.0f us",
+                    "%s -> %s, J/req %.4f -> %.4f, p99 %+0.0f us, "
+                    "tail blame %s -> %s",
                     loads[i] * 100,
                     static_cast<long long>(windows_us[0]),
                     static_cast<long long>(
@@ -104,7 +121,9 @@ main()
                     TablePrinter::percent(base.pc1aResidency()).c_str(),
                     TablePrinter::percent(wide.pc1aResidency()).c_str(),
                     base.joulesPerRequest, wide.joulesPerRequest,
-                    wide.p99LatencyUs - base.p99LatencyUs);
+                    wide.p99LatencyUs - base.p99LatencyUs,
+                    obs::segmentName(base.attribution.tailDominant()),
+                    obs::segmentName(wide.attribution.tailDominant()));
     }
     std::printf("\n");
 

@@ -60,6 +60,10 @@ capConfig(double load, double oversub, cap::CapActuator act,
     fc.budget.enabled = capped;
     fc.budget.oversubscription = oversub;
     fc.cap.actuator = act;
+    if (capped)
+        // Attribution answers the actuator question causally: is the
+        // added tail an idle-injection gate stall or a DVFS slowdown?
+        bench::enableAttribution(fc);
     return fc;
 }
 
@@ -73,6 +77,8 @@ writeJson(const char *path, const std::vector<Point> &points,
         return;
     }
     std::fprintf(f, "{\n  \"bench\": \"power_capping\",\n");
+    std::fprintf(f, "  \"schema_version\": %d,\n",
+                 bench::kBenchJsonSchemaVersion);
     std::fprintf(f, "  \"duration_ms\": %lld,\n",
                  static_cast<long long>(
                      bench::benchDuration(300 * sim::kMs) / sim::kMs));
@@ -88,12 +94,21 @@ writeJson(const char *path, const std::vector<Point> &points,
             "\"p99_us\": %.1f, \"p99_uncapped_us\": %.1f, "
             "\"violation_rate\": %.4f, \"throttle_residency\": %.4f, "
             "\"perf_loss\": %.4f, \"budget_util\": %.4f, "
+            "\"tail_stall_gate_us\": %s, \"tail_stall_dvfs_us\": %s, "
+            "\"tail_dominant\": \"%s\", "
             "\"met_budget\": %s, \"met_slo\": %s}%s\n",
             p.load, p.oversub, cap::capActuatorName(p.actuator),
             p.rep.rackBudgetW, p.rep.pkgPowerW, p.rep.joulesPerRequest,
             p.rep.p99LatencyUs, p.p99UncappedUs,
             p.rep.capViolationRate(), p.rep.capThrottleResidency,
             p.rep.capPerfLoss, p.rep.budgetUtilization,
+            obs::fmtDouble(p.rep.attribution.tailMeanUs(
+                               obs::Segment::StallGate))
+                .c_str(),
+            obs::fmtDouble(p.rep.attribution.tailMeanUs(
+                               obs::Segment::StallDvfs))
+                .c_str(),
+            obs::segmentName(p.rep.attribution.tailDominant()),
             p.metBudget() ? "true" : "false",
             p.rep.p99LatencyUs <= slo_us ? "true" : "false",
             i + 1 < points.size() ? "," : "");
@@ -140,14 +155,18 @@ main()
 
     std::FILE *csv = bench::csvSink();
     if (csv)
-        std::fprintf(csv, "load,oversub,actuator,%s\n",
-                     fleet::FleetReport::csvHeader().c_str());
+        std::fprintf(csv, "load,oversub,actuator,%s,%s\n",
+                     fleet::FleetReport::csvHeader().c_str(),
+                     bench::blameCsvHeader(obs::Segment::StallGate,
+                                           obs::Segment::StallDvfs)
+                         .c_str());
 
     TablePrinter t("4-server rack, Memcached-ETC, C_PC1A servers, "
                    "closed-loop capping to the allocated budget");
     t.header({"Load", "Oversub", "Actuator", "Budget W", "Fleet W",
               "viol%", "throttle", "p99 (us)", "+p99 vs free",
-              "J/req", "held"});
+              "J/req", "held", "t.gate us", "t.dvfs us",
+              "tail blame"});
 
     std::vector<Point> points;
     const Point *idleHead = nullptr, *dvfsHead = nullptr;
@@ -168,23 +187,32 @@ main()
                 p.p99UncappedUs = free_.p99LatencyUs;
                 points.push_back(p);
                 if (csv)
-                    std::fprintf(csv, "%.2f,%.2f,%s,%s\n", load, ov,
+                    std::fprintf(csv, "%.2f,%.2f,%s,%s,%s\n", load, ov,
                                  cap::capActuatorName(act),
-                                 p.rep.csvRow().c_str());
-                t.row({TablePrinter::percent(load, 0),
-                       TablePrinter::num(ov, 2) + "x",
-                       cap::capActuatorName(act),
-                       TablePrinter::num(p.rep.rackBudgetW, 1),
-                       TablePrinter::num(p.rep.pkgPowerW, 1),
-                       TablePrinter::percent(p.rep.capViolationRate()),
-                       TablePrinter::percent(
-                           p.rep.capThrottleResidency),
-                       TablePrinter::num(p.rep.p99LatencyUs, 0),
-                       TablePrinter::num(p.rep.p99LatencyUs -
-                                             p.p99UncappedUs,
-                                         0),
-                       TablePrinter::num(p.rep.joulesPerRequest, 4),
-                       p.metBudget() ? "yes" : "NO"});
+                                 p.rep.csvRow().c_str(),
+                                 bench::blameCsvCols(
+                                     p.rep, obs::Segment::StallGate,
+                                     obs::Segment::StallDvfs)
+                                     .c_str());
+                std::vector<std::string> row{
+                    TablePrinter::percent(load, 0),
+                    TablePrinter::num(ov, 2) + "x",
+                    cap::capActuatorName(act),
+                    TablePrinter::num(p.rep.rackBudgetW, 1),
+                    TablePrinter::num(p.rep.pkgPowerW, 1),
+                    TablePrinter::percent(p.rep.capViolationRate()),
+                    TablePrinter::percent(p.rep.capThrottleResidency),
+                    TablePrinter::num(p.rep.p99LatencyUs, 0),
+                    TablePrinter::num(p.rep.p99LatencyUs -
+                                          p.p99UncappedUs,
+                                      0),
+                    TablePrinter::num(p.rep.joulesPerRequest, 4),
+                    p.metBudget() ? "yes" : "NO"};
+                bench::appendCols(
+                    row, bench::blameCols(p.rep,
+                                          obs::Segment::StallGate,
+                                          obs::Segment::StallDvfs));
+                t.row(std::move(row));
             }
     }
     t.print();

@@ -329,6 +329,8 @@ writeJson(const char *path, const std::vector<QueuePoint> &points,
         return;
     }
     std::fprintf(f, "{\n  \"bench\": \"sim_throughput\",\n");
+    std::fprintf(f, "  \"schema_version\": %d,\n",
+                 bench::kBenchJsonSchemaVersion);
     std::fprintf(f, "  \"events_per_workload\": %llu,\n",
                  static_cast<unsigned long long>(events));
     std::fprintf(f, "  \"queue\": [\n");

@@ -12,6 +12,8 @@
  *                           run and export a Perfetto/Chrome trace JSON
  *   APC_METRICS_OUT=<path>  enable epoch metrics sampling on the same
  *                           run and export the time series as CSV
+ *   APC_ATTR_OUT=<path>     enable tail-latency attribution on the same
+ *                           run and export the blame report as JSON
  *   APC_BENCH_DURATION_MS=<ms>  shrink the simulated window (CI smoke)
  */
 
@@ -90,6 +92,7 @@ main()
 
     const char *trace_out = std::getenv("APC_TRACE_OUT");
     const char *metrics_out = std::getenv("APC_METRICS_OUT");
+    const char *attr_out = std::getenv("APC_ATTR_OUT");
 
     bool obs_ok = true;
     fleet::FleetReport reports[3];
@@ -101,6 +104,11 @@ main()
             kinds[i] == fleet::DispatchKind::PowerAwarePacking;
         fc.trace.enabled = observed && trace_out && *trace_out;
         fc.metrics.enabled = observed && metrics_out && *metrics_out;
+        fc.attribution.enabled = observed && attr_out && *attr_out;
+        if (fc.attribution.enabled)
+            // Segment spans are ~10 records per request; give the rings
+            // headroom so the spine doesn't wrap over a full demo run.
+            fc.trace.ringCapacity = std::size_t{1} << 22;
         fleet::FleetSim fleet(fc);
         reports[i] = fleet.run();
         report(fleet::dispatchName(kinds[i]), reports[i]);
@@ -129,6 +137,23 @@ main()
                 std::fprintf(stderr,
                              "error: metrics export to %s failed\n",
                              metrics_out);
+                obs_ok = false;
+            }
+        }
+        if (fc.attribution.enabled) {
+            const obs::LatencyAttribution &la = reports[i].attribution;
+            if (la.writeJson(attr_out))
+                std::printf("Wrote blame report: %s (%llu requests "
+                            "attributed, %llu fanout, tail blame: %s)\n",
+                            attr_out,
+                            static_cast<unsigned long long>(la.requests),
+                            static_cast<unsigned long long>(
+                                la.fanoutRequests),
+                            obs::segmentName(la.tailDominant()));
+            else {
+                std::fprintf(stderr,
+                             "error: blame export to %s failed\n",
+                             attr_out);
                 obs_ok = false;
             }
         }

@@ -51,6 +51,13 @@ BudgetAllocator::allocate(sim::Tick now,
     rec.demandW = std::accumulate(demand_w.begin(), demand_w.end(), 0.0);
 
     std::vector<double> alloc(n_, 0.0);
+    // What each server wants this epoch: its recent draw plus headroom,
+    // floored and nameplate-capped. Shared by the waterfill and by the
+    // unmet-demand accounting below.
+    std::vector<double> want(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+        want[i] = std::clamp(demand_w[i] + cfg_.headroomW,
+                             cfg_.minServerW, cfg_.serverNameplateW);
     const double floor_sum = static_cast<double>(n_) * cfg_.minServerW;
     if (floor_sum >= budget) {
         // Emergency: even the guaranteed floors overshoot the rack
@@ -62,17 +69,11 @@ BudgetAllocator::allocate(sim::Tick now,
         rec.emergency = true;
         ++emergencyEpochs_;
     } else {
-        // Demand-driven waterfill above the floors: a server wants its
-        // recent draw plus headroom (never less than the floor, never
-        // more than nameplate); spare watts flow by priority weight to
-        // the still-hungry, and any final surplus is spread by weight
-        // as burst headroom.
-        std::vector<double> want(n_);
-        for (std::size_t i = 0; i < n_; ++i) {
-            want[i] = std::clamp(demand_w[i] + cfg_.headroomW,
-                                 cfg_.minServerW, cfg_.serverNameplateW);
+        // Demand-driven waterfill above the floors: spare watts flow by
+        // priority weight to the still-hungry, and any final surplus is
+        // spread by weight as burst headroom.
+        for (std::size_t i = 0; i < n_; ++i)
             alloc[i] = cfg_.minServerW;
-        }
         double remaining = budget - floor_sum;
         for (std::size_t round = 0; round < n_ && remaining > 1e-9;
              ++round) {
@@ -115,6 +116,14 @@ BudgetAllocator::allocate(sim::Tick now,
 
     rec.allocatedW =
         std::accumulate(alloc.begin(), alloc.end(), 0.0);
+    // Demand the allocation left on the table: the watts servers asked
+    // for (floored, nameplate-capped) but were not granted. Nonzero
+    // whenever the waterfill ran dry or the floors were emergency-
+    // scaled — the rack-level "how throttled are we" signal.
+    double unmet = 0.0;
+    for (std::size_t i = 0; i < n_; ++i)
+        unmet += std::max(0.0, want[i] - alloc[i]);
+    rec.unmetW = unmet;
     if (trace_) {
         trace_->counter(now, obs::Name::RackBudgetW, obs::Track::Budget,
                         rec.budgetW);
@@ -122,6 +131,8 @@ BudgetAllocator::allocate(sim::Tick now,
                         rec.demandW);
         trace_->counter(now, obs::Name::RackAllocW, obs::Track::Budget,
                         rec.allocatedW);
+        trace_->counter(now, obs::Name::RackUnmetW, obs::Track::Budget,
+                        rec.unmetW);
         if (rec.emergency)
             trace_->instant(now, obs::Name::BudgetEmergency,
                             obs::Track::Budget);

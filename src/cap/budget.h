@@ -84,6 +84,7 @@ class BudgetAllocator
         double budgetW = 0.0;    ///< rack budget in force
         double demandW = 0.0;    ///< sum of reported demands
         double allocatedW = 0.0; ///< sum of granted limits
+        double unmetW = 0.0;     ///< wanted-but-ungranted watts
         bool emergency = false;  ///< floors had to be scaled
     };
 

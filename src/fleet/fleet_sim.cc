@@ -83,6 +83,11 @@ FleetSim::FleetSim(FleetConfig cfg)
                                static_cast<unsigned>(cfg_.numServers)))
 {
     assert(cfg_.numServers > 0);
+    // Attribution rides on the trace layer: the segment spans land in
+    // the same per-entity rings, so enabling it forces tracing on.
+    attr_ = cfg_.attribution.enabled;
+    if (attr_)
+        cfg_.trace.enabled = true;
     servers_.reserve(cfg_.numServers);
     // Slots are sized once and never reallocated: the server hooks
     // installed below keep raw pointers into this vector.
@@ -123,7 +128,7 @@ FleetSim::FleetSim(FleetConfig cfg)
         for (std::size_t i = 0; i < servers_.size(); ++i) {
             tracer_->setEntityLabel(i + 1,
                                     "server " + std::to_string(i));
-            servers_[i]->enableTracing(tracer_->writer(i + 1));
+            servers_[i]->enableTracing(tracer_->writer(i + 1), attr_);
         }
     }
     if (cfg_.metrics.enabled) {
@@ -193,17 +198,43 @@ FleetSim::FleetSim(FleetConfig cfg)
 FleetSim::~FleetSim() = default;
 
 bool
-FleetSim::transit(sim::Tick at, std::size_t srv, sim::Tick &deliver)
+FleetSim::transit(sim::Tick at, std::size_t srv, sim::Tick &deliver,
+                  sim::Tick &rto_wait)
 {
     deliver = at;
+    rto_wait = 0;
     if (fabric_) {
         const auto tr = fabric_->toServer(at, srv);
         netRetransmits_ += static_cast<std::uint64_t>(tr.retransmits);
         if (tr.lost)
             return false;
         deliver = tr.deliverAt;
+        // Each retry waits exactly one RTO before re-offering
+        // (Fabric::route), so the retransmit share of the transit is
+        // derivable — the remainder is wire time.
+        rto_wait =
+            static_cast<sim::Tick>(tr.retransmits) * cfg_.fabric.rto;
     }
     return true;
+}
+
+void
+FleetSim::traceSendSegments(sim::Tick at, sim::Tick deliver,
+                            sim::Tick rto_wait, std::size_t srv,
+                            std::uint64_t id, bool response)
+{
+    if (!attr_)
+        return;
+    const auto sv = static_cast<double>(srv);
+    if (rto_wait > 0)
+        fleetTrace_->span(at, rto_wait, obs::Name::SegRto,
+                          obs::Track::Segments, id, sv);
+    const sim::Tick wire = deliver - at - rto_wait;
+    if (wire > 0)
+        fleetTrace_->span(at + rto_wait, wire,
+                          response ? obs::Name::SegXmitResp
+                                   : obs::Name::SegXmitReq,
+                          obs::Track::Segments, id, sv);
 }
 
 void
@@ -219,9 +250,22 @@ FleetSim::routeReplica(sim::Tick at, sim::Tick service, std::size_t srv,
                        std::uint64_t id)
 {
     ++replicasDispatched_;
-    sim::Tick deliver;
-    if (!transit(at, srv, deliver))
+    sim::Tick deliver, rto_wait;
+    if (!transit(at, srv, deliver, rto_wait))
         return false;
+    if (attr_) {
+        if (fabric_) {
+            traceSendSegments(at, deliver, rto_wait, srv, id, false);
+        } else if (cfg_.networkLatency > 1) {
+            // Teleport mode: the constant RTT stands in for both
+            // transits. Split it so request + response halves sum to
+            // exactly networkLatency (integer additivity).
+            fleetTrace_->span(at, cfg_.networkLatency / 2,
+                              obs::Name::SegXmitReq,
+                              obs::Track::Segments, id,
+                              static_cast<double>(srv));
+        }
+    }
     slots_[layout_.shardOf(srv)].injects.push_back(
         {deliver, service, static_cast<std::uint32_t>(srv), id});
     return true;
@@ -435,11 +479,23 @@ FleetSim::drainCompletions()
             const auto tr = fabric_->toClient(ev.at, ev.srv);
             netRetransmits_ +=
                 static_cast<std::uint64_t>(tr.retransmits);
-            if (tr.lost)
+            if (tr.lost) {
                 ++fl.lost;
-            else
+            } else {
+                traceSendSegments(ev.at, tr.deliverAt,
+                                  static_cast<sim::Tick>(tr.retransmits) *
+                                      cfg_.fabric.rto,
+                                  ev.srv, ev.id, true);
                 fl.lastDone = std::max(fl.lastDone, tr.deliverAt);
+            }
         } else {
+            // The response half of the teleport RTT (see routeReplica).
+            const sim::Tick resp =
+                cfg_.networkLatency - cfg_.networkLatency / 2;
+            if (attr_ && resp > 0)
+                fleetTrace_->span(ev.at, resp, obs::Name::SegXmitResp,
+                                  obs::Track::Segments, ev.id,
+                                  static_cast<double>(ev.srv));
             fl.lastDone = std::max(fl.lastDone, ev.at);
         }
         if (--fl.remaining == 0)
@@ -479,8 +535,17 @@ FleetSim::drainNicDrops(sim::Tick now_floor)
         ++netRetransmits_;
         const sim::Tick at =
             std::max(ev.at + cfg_.fabric.rto, now_floor);
-        sim::Tick deliver;
-        if (transit(at, ev.srv, deliver)) {
+        // The drop-to-resend gap is pure retransmit penalty in the
+        // request's timeline; the fresh transit then adds its own
+        // RTO/wire spans.
+        if (attr_ && at > ev.at)
+            fleetTrace_->span(ev.at, at - ev.at, obs::Name::SegRto,
+                              obs::Track::Segments, ev.id,
+                              static_cast<double>(ev.srv));
+        sim::Tick deliver, rto_wait;
+        if (transit(at, ev.srv, deliver, rto_wait)) {
+            traceSendSegments(at, deliver, rto_wait, ev.srv, ev.id,
+                              false);
             scheduleInject(ev.srv, deliver, ev.id, fl.service);
         } else {
             ++fl.lost;
@@ -628,9 +693,22 @@ FleetSim::writeTrace(const std::string &path) const
 {
     if (!tracer_)
         return false;
-    return tracer_->writePerfettoJson(path,
-                                      cfg_.profile ? &profiler_
-                                                   : nullptr);
+    if (const std::uint64_t drops = tracer_->totalDropped())
+        std::fprintf(stderr,
+                     "fleet: warning: trace rings wrapped, %llu oldest "
+                     "records dropped; export is incomplete (raise "
+                     "TraceConfig::ringCapacity)\n",
+                     static_cast<unsigned long long>(drops));
+    const obs::PhaseProfiler *prof = cfg_.profile ? &profiler_ : nullptr;
+    if (attr_) {
+        // Flow arrows (client -> critical server -> client) ride along
+        // when attribution ran; built post-run from the same rings.
+        const obs::AttributionResult res = obs::buildAttribution(*tracer_);
+        const std::vector<obs::FlowEvent> flows =
+            obs::buildFlows(res, cfg_.attribution.flowLimit);
+        return tracer_->writePerfettoJson(path, prof, &flows);
+    }
+    return tracer_->writePerfettoJson(path, prof);
 }
 
 bool
@@ -753,6 +831,14 @@ FleetSim::aggregate()
         ? static_cast<double>(sloViolations_) /
             static_cast<double>(answered)
         : 0.0;
+
+    if (tracer_) {
+        rep.traceRecords = tracer_->totalRecorded();
+        rep.traceDrops = tracer_->totalDropped();
+    }
+    if (attr_)
+        rep.attribution = obs::LatencyAttribution::build(
+            obs::buildAttribution(*tracer_), cfg_.attribution.sampleLimit);
     return rep;
 }
 

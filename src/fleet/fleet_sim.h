@@ -48,6 +48,7 @@
 #include "fleet/thread_pool.h"
 #include "fleet/traffic.h"
 #include "net/fabric.h"
+#include "obs/critpath.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/tracer.h"
@@ -138,6 +139,15 @@ struct FleetConfig
     /** Time-series metrics sampled at epoch boundaries
      *  (obs/metrics.h); exported via writeMetricsCsv(). */
     obs::MetricsConfig metrics;
+
+    /**
+     * Per-request latency attribution (obs/attribution.h): segment
+     * instrumentation on every layer a request crosses plus the
+     * post-run blame report (FleetReport::attribution). Implies
+     * tracing. Pure observation, same contract as `trace`: reports
+     * are byte-identical with attribution on or off.
+     */
+    obs::AttributionConfig attribution;
 
     /** Wall-clock profiling of the route/advance/merge pipeline
      *  (obs/profiler.h); negligible cost, on by default. */
@@ -259,6 +269,18 @@ struct FleetReport
     /** Per-server breakdown (index = server id). */
     std::vector<server::ServerResult> perServer;
 
+    // Trace-ring health (zero unless tracing ran). Drops > 0 mean the
+    // export — and any attribution built on it — is missing the oldest
+    // records; raise TraceConfig::ringCapacity.
+    std::uint64_t traceRecords = 0;
+    std::uint64_t traceDrops = 0;
+
+    /** Tail-latency blame report (enabled flag false unless
+     *  cfg.attribution.enabled). Deliberately not part of csvRow():
+     *  the headline row is the byte-identity reference for the
+     *  zero-footprint contract. */
+    obs::LatencyAttribution attribution;
+
     double
     pc1aResidency() const
     {
@@ -338,8 +360,15 @@ class FleetSim
     bool routeReplica(sim::Tick at, sim::Tick service, std::size_t srv,
                       std::uint64_t id);
     /** Fabric transit for one replica send; shared by first sends and
-     *  NIC-drop resends. @return false if lost, else sets @p deliver. */
-    bool transit(sim::Tick at, std::size_t srv, sim::Tick &deliver);
+     *  NIC-drop resends. @return false if lost, else sets @p deliver
+     *  and the RTO share of the transit (@p rto_wait). */
+    bool transit(sim::Tick at, std::size_t srv, sim::Tick &deliver,
+                 sim::Tick &rto_wait);
+    /** Attribution spans for one fabric transit: the RTO wait and the
+     *  wire time, on the fleet writer (server in `value`). */
+    void traceSendSegments(sim::Tick at, sim::Tick deliver,
+                           sim::Tick rto_wait, std::size_t srv,
+                           std::uint64_t id, bool response);
     /** Schedule one injection directly into @p srv's event queue. */
     void scheduleInject(std::size_t srv, sim::Tick deliver,
                         std::uint64_t id, sim::Tick service);
@@ -409,6 +438,8 @@ class FleetSim
     stats::Histogram latencyHistUs_{0.1, 1e7, 64};
 
     // --- telemetry (all pure observers of the simulation) ---
+    /** Attribution on: segment spans recorded, blame report built. */
+    bool attr_ = false;
     std::unique_ptr<obs::Tracer> tracer_;
     /** Writer 0: fleet-spine events (request spans, budget counters). */
     obs::TraceWriter *fleetTrace_ = nullptr;

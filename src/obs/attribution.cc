@@ -1,0 +1,157 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace apc::obs {
+
+const char *
+segmentName(Segment s)
+{
+    constexpr const char *names[kNumSegments] = {
+        "xmit_req", "rto",        "nic_ring", "irq_hold",   "wake",
+        "queue",    "stall_gate", "serve",    "stall_dvfs", "xmit_resp"};
+    return names[static_cast<std::size_t>(s)];
+}
+
+Segment
+ReplicaPath::dominant() const
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < kNumSegments; ++i)
+        if (seg[i] > seg[best])
+            best = i;
+    return static_cast<Segment>(best);
+}
+
+AttributionResult
+buildAttribution(const Tracer &tracer)
+{
+    AttributionResult res;
+    res.ringDropped = tracer.totalDropped();
+
+    struct Pending
+    {
+        sim::Tick arrival = 0;
+        sim::Tick e2e = 0;
+        bool finished = false; ///< saw the end-to-end Request span
+        std::vector<ReplicaPath> replicas;
+    };
+    std::unordered_map<std::uint64_t, Pending> byId;
+    std::unordered_set<std::uint64_t> lost;
+    std::uint64_t segmentSpans = 0;
+
+    for (const Tracer::MergedRecord &m : tracer.merged()) {
+        const TraceRecord &r = *m.rec;
+        const auto kind = static_cast<TraceKind>(r.kind);
+        const auto name = static_cast<Name>(r.name);
+        if (kind == TraceKind::Span && name == Name::Request &&
+            m.writer == 0) {
+            Pending &p = byId[r.id];
+            p.arrival = r.ts;
+            p.e2e = r.dur;
+            p.finished = true;
+            continue;
+        }
+        if (kind == TraceKind::Instant && name == Name::Lost &&
+            m.writer == 0) {
+            lost.insert(r.id);
+            continue;
+        }
+        if (kind != TraceKind::Span)
+            continue;
+        const Segment seg = segmentFromTraceName(name);
+        if (seg == Segment::kCount)
+            continue;
+        ++segmentSpans;
+        // Fleet-spine spans name the server in `value`; a server
+        // writer's spans imply that server (writer i = server i-1).
+        const auto srv = m.writer == 0
+            ? static_cast<std::uint32_t>(r.value)
+            : m.writer - 1;
+        auto &replicas = byId[r.id].replicas;
+        auto it = std::find_if(
+            replicas.begin(), replicas.end(),
+            [srv](const ReplicaPath &rp) { return rp.srv == srv; });
+        if (it == replicas.end()) {
+            replicas.push_back({});
+            it = replicas.end() - 1;
+            it->srv = srv;
+        }
+        it->seg[static_cast<std::size_t>(seg)] += r.dur;
+    }
+
+    // No segment instrumentation ran (plain tracing): nothing to
+    // attribute, and nothing to flag.
+    if (segmentSpans == 0)
+        return res;
+
+    res.requests.reserve(byId.size());
+    for (auto &[id, p] : byId) {
+        if (lost.count(id)) {
+            ++res.lostExcluded;
+            continue;
+        }
+        if (!p.finished)
+            continue; // still in flight at trace end
+        RequestPath rp;
+        rp.id = id;
+        rp.arrival = p.arrival;
+        rp.e2e = p.e2e;
+        rp.replicas = std::move(p.replicas);
+        // The slowest replica defines the client-observed latency: its
+        // chain is the critical path, and — additively — sums to e2e.
+        sim::Tick worst = -1;
+        for (std::size_t i = 0; i < rp.replicas.size(); ++i) {
+            const sim::Tick t = rp.replicas[i].total();
+            if (t > worst) {
+                worst = t;
+                rp.critical = i;
+            }
+        }
+        rp.additive = !rp.replicas.empty() && worst == rp.e2e;
+        if (rp.additive) {
+            res.requests.push_back(std::move(rp));
+        } else if (res.ringDropped > 0) {
+            ++res.incomplete; // spans lost to ring wrap; chain flagged
+        } else {
+            ++res.violations;
+            assert(!"attribution additivity violated with no ring drops");
+        }
+    }
+
+    // Deterministic report order regardless of hash-map iteration.
+    std::sort(res.requests.begin(), res.requests.end(),
+              [](const RequestPath &a, const RequestPath &b) {
+                  return a.arrival != b.arrival ? a.arrival < b.arrival
+                                                : a.id < b.id;
+              });
+    return res;
+}
+
+std::vector<FlowEvent>
+buildFlows(const AttributionResult &res, std::size_t limit)
+{
+    std::vector<FlowEvent> flows;
+    const std::size_t n = std::min(limit, res.requests.size());
+    flows.reserve(3 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const RequestPath &rp = res.requests[i];
+        const ReplicaPath &cp = rp.criticalPath();
+        const sim::Tick serve_start = rp.arrival + rp.e2e -
+            cp.seg[static_cast<std::size_t>(Segment::Serve)] -
+            cp.seg[static_cast<std::size_t>(Segment::StallDvfs)] -
+            cp.seg[static_cast<std::size_t>(Segment::XmitResp)];
+        flows.push_back({rp.id, 0, rp.arrival,
+                         static_cast<std::uint8_t>(Track::Requests), 0});
+        flows.push_back({rp.id, cp.srv + 1, serve_start,
+                         static_cast<std::uint8_t>(Track::Segments), 1});
+        flows.push_back({rp.id, 0, rp.arrival + rp.e2e,
+                         static_cast<std::uint8_t>(Track::Requests), 2});
+    }
+    return flows;
+}
+
+} // namespace apc::obs

@@ -32,13 +32,28 @@ inline constexpr StrId kNoStr = UINT32_MAX;
 class StringInterner
 {
   public:
-    /** Id for @p s, registering it on first sight. */
+    /** Unbounded table. */
+    StringInterner() = default;
+
+    /** Bounded table: at most @p max_strings distinct strings; further
+     *  first-sight interns are rejected with kNoStr (and counted). */
+    explicit StringInterner(std::size_t max_strings) : cap_(max_strings)
+    {
+    }
+
+    /** Id for @p s, registering it on first sight. Returns kNoStr when
+     *  a bounded table is full (re-interning an existing string always
+     *  succeeds — the table never forgets what it holds). */
     StrId
     intern(std::string_view s)
     {
         const auto it = ids_.find(std::string(s));
         if (it != ids_.end())
             return it->second;
+        if (strings_.size() >= cap_) {
+            ++rejected_;
+            return kNoStr;
+        }
         const auto id = static_cast<StrId>(strings_.size());
         strings_.emplace_back(s);
         ids_.emplace(strings_.back(), id);
@@ -58,9 +73,17 @@ class StringInterner
 
     std::size_t size() const { return strings_.size(); }
 
+    /** Capacity of a bounded table (SIZE_MAX = unbounded). */
+    std::size_t capacity() const { return cap_; }
+
+    /** First-sight interns rejected because the table was full. */
+    std::uint64_t rejected() const { return rejected_; }
+
   private:
     std::unordered_map<std::string, StrId> ids_;
     std::vector<std::string> strings_;
+    std::size_t cap_ = SIZE_MAX;
+    std::uint64_t rejected_ = 0;
 };
 
 } // namespace apc::obs

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/fmt.h"
+
 namespace apc::obs {
 
 void
@@ -28,10 +30,11 @@ MetricsSampler::writeCsv(std::FILE *out) const
             const double v = values_[i][s];
             if (std::isnan(v))
                 continue;
-            put("%.3f,%s,", sim::toMicros(times_[s]), names_[i].c_str());
+            put("%s,%s,", fmtFixed(sim::toMicros(times_[s]), 3).c_str(),
+                names_[i].c_str());
             if (entities_[i] >= 0)
                 put("%d", entities_[i]);
-            put(",%.6g\n", v);
+            put(",%s\n", fmtDouble(v).c_str());
         }
     }
     if (std::fflush(out) != 0)
@@ -57,10 +60,11 @@ MetricsSampler::writeJson(std::FILE *out) const
         if (std::fprintf(out, fmt, args...) < 0)
             ok = false;
     };
-    put("{\n  \"interval_us\": %.3f,\n  \"times_us\": [",
-        sim::toMicros(cfg_.interval));
+    put("{\n  \"interval_us\": %s,\n  \"times_us\": [",
+        fmtFixed(sim::toMicros(cfg_.interval), 3).c_str());
     for (std::size_t s = 0; s < times_.size(); ++s)
-        put("%s%.3f", s ? ", " : "", sim::toMicros(times_[s]));
+        put("%s%s", s ? ", " : "",
+            fmtFixed(sim::toMicros(times_[s]), 3).c_str());
     put("],\n  \"series\": [\n");
     for (std::size_t i = 0; i < names_.size(); ++i) {
         put("    {\"name\": \"%s\", \"entity\": %d, \"values\": [",
@@ -70,7 +74,7 @@ MetricsSampler::writeJson(std::FILE *out) const
             if (std::isnan(v))
                 put("%snull", s ? ", " : "");
             else
-                put("%s%.6g", s ? ", " : "", v);
+                put("%s%s", s ? ", " : "", fmtDouble(v).c_str());
         }
         put("]}%s\n", i + 1 < names_.size() ? "," : "");
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/fmt.h"
 #include "obs/profiler.h"
 
 namespace apc::obs {
@@ -10,9 +11,9 @@ namespace apc::obs {
 const char *
 trackName(Track t)
 {
-    constexpr const char *names[kNumTracks] = {"requests", "power",
-                                               "cap",      "nic",
-                                               "budget",   "engine"};
+    constexpr const char *names[kNumTracks] = {
+        "requests", "power",  "cap",     "nic",
+        "budget",   "engine", "segments"};
     return names[static_cast<std::size_t>(t)];
 }
 
@@ -28,7 +29,10 @@ nameString(Name n)
         "cap_duty",      "rack_budget_w", "rack_demand_w",
         "rack_alloc_w",  "budget_emergency",
         "route",         "advance",       "merge",
-        "collect",
+        "collect",       "seg_xmit_req",  "seg_rto",
+        "seg_nic_ring",  "seg_irq_hold",  "seg_wake",
+        "seg_queue",     "seg_stall_gate", "seg_serve",
+        "seg_stall_dvfs", "seg_xmit_resp", "rack_unmet_w",
     };
     return names[static_cast<std::size_t>(n)];
 }
@@ -147,7 +151,8 @@ jsonEscape(const std::string &s)
 } // namespace
 
 bool
-Tracer::writePerfettoJson(std::FILE *out, const PhaseProfiler *engine) const
+Tracer::writePerfettoJson(std::FILE *out, const PhaseProfiler *engine,
+                          const std::vector<FlowEvent> *flows) const
 {
     bool ok = true;
     const auto put = [out, &ok](const char *fmt, auto... args) {
@@ -189,27 +194,48 @@ Tracer::writePerfettoJson(std::FILE *out, const PhaseProfiler *engine) const
     for (const MergedRecord &m : merged()) {
         const TraceRecord &r = *m.rec;
         const std::uint32_t pid = writers_[m.writer]->entity();
-        const double ts = sim::toMicros(r.ts);
+        const NumBuf ts = fmtFixed(sim::toMicros(r.ts), 4);
         sep();
         switch (static_cast<TraceKind>(r.kind)) {
         case TraceKind::Span:
-            put("{\"ph\":\"X\",\"pid\":%u,\"tid\":%u,\"ts\":%.4f,"
-                "\"dur\":%.4f,\"name\":\"%s\",\"args\":{\"id\":%llu}}",
-                pid, r.track, ts, sim::toMicros(r.dur), nameOf(r.name),
-                static_cast<unsigned long long>(r.id));
+            put("{\"ph\":\"X\",\"pid\":%u,\"tid\":%u,\"ts\":%s,"
+                "\"dur\":%s,\"name\":\"%s\",\"args\":{\"id\":%llu}}",
+                pid, r.track, ts.c_str(),
+                fmtFixed(sim::toMicros(r.dur), 4).c_str(),
+                nameOf(r.name), static_cast<unsigned long long>(r.id));
             break;
         case TraceKind::Instant:
             put("{\"ph\":\"i\",\"s\":\"t\",\"pid\":%u,\"tid\":%u,"
-                "\"ts\":%.4f,\"name\":\"%s\",\"args\":{\"id\":%llu,"
-                "\"value\":%.6g}}",
-                pid, r.track, ts, nameOf(r.name),
-                static_cast<unsigned long long>(r.id), r.value);
+                "\"ts\":%s,\"name\":\"%s\",\"args\":{\"id\":%llu,"
+                "\"value\":%s}}",
+                pid, r.track, ts.c_str(), nameOf(r.name),
+                static_cast<unsigned long long>(r.id),
+                fmtDouble(r.value).c_str());
             break;
         case TraceKind::Counter:
-            put("{\"ph\":\"C\",\"pid\":%u,\"tid\":%u,\"ts\":%.4f,"
-                "\"name\":\"%s\",\"args\":{\"value\":%.6g}}",
-                pid, r.track, ts, nameOf(r.name), r.value);
+            put("{\"ph\":\"C\",\"pid\":%u,\"tid\":%u,\"ts\":%s,"
+                "\"name\":\"%s\",\"args\":{\"value\":%s}}",
+                pid, r.track, ts.c_str(), nameOf(r.name),
+                fmtDouble(r.value).c_str());
             break;
+        }
+    }
+
+    // Flow arrows (attribution): 's'/'t'/'f' steps keyed by request id.
+    // The viewer draws an arrow client arrival -> serving server ->
+    // client delivery for every sampled request.
+    if (flows) {
+        constexpr const char *ph[3] = {"s", "t", "f"};
+        for (const FlowEvent &fe : *flows) {
+            if (fe.phase > 2)
+                continue;
+            sep();
+            put("{\"ph\":\"%s\",%s\"cat\":\"request\","
+                "\"name\":\"req_flow\",\"id\":%llu,\"pid\":%u,"
+                "\"tid\":%u,\"ts\":%s}",
+                ph[fe.phase], fe.phase == 2 ? "\"bp\":\"e\"," : "",
+                static_cast<unsigned long long>(fe.id), fe.pid, fe.track,
+                fmtFixed(sim::toMicros(fe.ts), 4).c_str());
         }
     }
 
@@ -227,9 +253,11 @@ Tracer::writePerfettoJson(std::FILE *out, const PhaseProfiler *engine) const
             pid, static_cast<int>(Track::Engine));
         for (const PhaseProfiler::EngineSpan &s : engine->spans()) {
             sep();
-            put("{\"ph\":\"X\",\"pid\":%u,\"tid\":%d,\"ts\":%.3f,"
-                "\"dur\":%.3f,\"name\":\"%s\",\"args\":{}}",
-                pid, static_cast<int>(Track::Engine), s.startUs, s.durUs,
+            put("{\"ph\":\"X\",\"pid\":%u,\"tid\":%d,\"ts\":%s,"
+                "\"dur\":%s,\"name\":\"%s\",\"args\":{}}",
+                pid, static_cast<int>(Track::Engine),
+                fmtFixed(s.startUs, 3).c_str(),
+                fmtFixed(s.durUs, 3).c_str(),
                 PhaseProfiler::phaseName(s.phase));
         }
     }
@@ -242,12 +270,13 @@ Tracer::writePerfettoJson(std::FILE *out, const PhaseProfiler *engine) const
 
 bool
 Tracer::writePerfettoJson(const std::string &path,
-                          const PhaseProfiler *engine) const
+                          const PhaseProfiler *engine,
+                          const std::vector<FlowEvent> *flows) const
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         return false;
-    const bool ok = writePerfettoJson(f, engine);
+    const bool ok = writePerfettoJson(f, engine, flows);
     return std::fclose(f) == 0 && ok;
 }
 

@@ -54,9 +54,10 @@ enum class Track : std::uint8_t
     Nic,          ///< NIC interrupts and ring drops
     Budget,       ///< rack budget-allocator decisions
     Engine,       ///< wall-clock pipeline-phase spans (profiler)
+    Segments,     ///< latency-attribution segment spans
 };
 
-inline constexpr std::size_t kNumTracks = 6;
+inline constexpr std::size_t kNumTracks = 7;
 
 /** Display name for a track. */
 const char *trackName(Track t);
@@ -98,6 +99,22 @@ enum class Name : std::uint32_t
     Advance,
     Merge,
     Collect,
+    // Latency-attribution segments (order matches obs::Segment in
+    // attribution.h; emitted only when attribution is enabled). Spans
+    // on the fleet writer carry the server in `value`; spans on a
+    // server writer imply that server.
+    SegXmitReq,   ///< client -> server fabric transit (minus RTO)
+    SegRto,       ///< RTO retransmit penalty (fabric + NIC-drop resend)
+    SegNicRing,   ///< RX-ring descriptor wait until the moderated IRQ
+    SegIrqHold,   ///< IRQ -> DMA completion (coalescing hold)
+    SegWake,      ///< DMA done -> fabric open (package C-state exit)
+    SegQueue,     ///< dispatch-queue wait (gate overlap excluded)
+    SegStallGate, ///< idle-injection gate overlap of the queue wait
+    SegServe,     ///< service time at the governor's frequency
+    SegStallDvfs, ///< extra service time from the cap's P-state clamp
+    SegXmitResp,  ///< response TX + server -> client transit (minus RTO)
+    // Rack budget allocation (traced by cap/budget.cc).
+    RackUnmetW, ///< counter: demand the waterfill left unsatisfied
 
     kCount
 };
@@ -211,6 +228,18 @@ class TraceWriter
     /** Live records. */
     std::size_t size() const { return buf_.size(); }
 
+    /** Discard all records and counters; capacity and entity — and any
+     *  name ids already interned by the owning Tracer — are unchanged,
+     *  so a writer can be reused across phases without re-interning. */
+    void
+    reset()
+    {
+        buf_.clear();
+        head_ = 0;
+        wrapped_ = false;
+        seq_ = 0;
+    }
+
     /** Visit live records oldest-first (recording order). */
     template <typename F>
     void
@@ -234,6 +263,21 @@ class TraceWriter
     std::size_t head_ = 0;
     bool wrapped_ = false;
     std::uint32_t seq_ = 0;
+};
+
+/**
+ * One Perfetto flow arrow: client arrival -> server serve -> client
+ * delivery. POD; built post-run (e.g. by the attribution layer) and
+ * rendered by Tracer::writePerfettoJson as 's'/'t'/'f' steps sharing
+ * the flow id.
+ */
+struct FlowEvent
+{
+    std::uint64_t id = 0;  ///< flow correlation id (request id)
+    std::uint32_t pid = 0; ///< entity the step lands on
+    sim::Tick ts = 0;
+    std::uint8_t track = 0;
+    std::uint8_t phase = 0; ///< 0 = start 's', 1 = step 't', 2 = end 'f'
 };
 
 /** Tracer setup. */
@@ -301,12 +345,19 @@ class Tracer
     /**
      * Export as Chrome/Perfetto trace_event JSON. @p engine, when
      * given, appends the profiler's wall-clock pipeline-phase spans as
-     * an extra "engine" process. @return false on any IO failure.
+     * an extra "engine" process; @p flows, when given, renders each
+     * FlowEvent as an 's'/'t'/'f' flow step so the viewer draws
+     * client -> server -> client arrows. @return false on any IO
+     * failure.
      */
-    bool writePerfettoJson(std::FILE *out,
-                           const PhaseProfiler *engine = nullptr) const;
-    bool writePerfettoJson(const std::string &path,
-                           const PhaseProfiler *engine = nullptr) const;
+    bool
+    writePerfettoJson(std::FILE *out,
+                      const PhaseProfiler *engine = nullptr,
+                      const std::vector<FlowEvent> *flows = nullptr) const;
+    bool
+    writePerfettoJson(const std::string &path,
+                      const PhaseProfiler *engine = nullptr,
+                      const std::vector<FlowEvent> *flows = nullptr) const;
 
     const TraceConfig &config() const { return cfg_; }
 

@@ -92,16 +92,30 @@ ServerSim::deliverNicBatch(std::vector<net::Nic::RxPacket> batch,
     // memory controllers) reopens, the whole batch is admitted behind
     // the one shared package exit — which is exactly the wake-sharing
     // the moderation window buys.
-    soc_->whenFabricReady([this, batch = std::move(batch), irq_at] {
+    // `now` here is the DMA completion — the attribution boundary
+    // between the IRQ hold and the package wake the fabric wait below
+    // represents.
+    const sim::Tick dma_done = sim_.now();
+    soc_->whenFabricReady([this, batch = std::move(batch), irq_at,
+                           dma_done] {
         if (sim_.now() >= measureStart_)
             nicWakeUs_.record(sim::toMicros(sim_.now() - irq_at));
+        const sim::Tick adm = sim_.now();
+        const sim::Tick gate_base = gateClosedTotalAt(adm);
         bool first = true;
         for (const net::Nic::RxPacket &p : batch) {
             ++accepted_;
+            if (traceSeg_ && p.id != kNoRequestId && adm > dma_done)
+                // Every coalesced request pays the one shared package
+                // exit in its own timeline — that sharing is exactly
+                // what the moderation window buys.
+                trace_->span(dma_done, adm - dma_done, obs::Name::SegWake,
+                             obs::Track::Segments, p.id);
             // Latency counts from RX-ring arrival: the coalescing wait
             // is part of the request's end-to-end cost. Followers of
             // the batch share the leader's wake.
-            assign({p.enqueuedAt, p.service, !first, p.id});
+            assign({p.enqueuedAt, p.service, !first, p.id, adm,
+                    gate_base});
             first = false;
         }
     });
@@ -116,7 +130,18 @@ ServerSim::admit(Request r)
     // RX over the NIC link (wakes it from L0s/L1 as needed), then wait
     // for the path to memory before the request can be dispatched.
     soc_->nic().transfer(cfg_.workload.nicTransfer, [this, r] {
-        soc_->whenFabricReady([this, r] { assign(r); });
+        soc_->whenFabricReady([this, r]() mutable {
+            const sim::Tick adm = sim_.now();
+            if (traceSeg_ && r.id != kNoRequestId && adm > r.arrival)
+                // No NIC model: the whole link transfer + fabric wait
+                // is the wake segment.
+                trace_->span(r.arrival, adm - r.arrival,
+                             obs::Name::SegWake, obs::Track::Segments,
+                             r.id);
+            r.admitAt = adm;
+            r.gateBase = gateClosedTotalAt(adm);
+            assign(r);
+        });
     });
 }
 
@@ -159,21 +184,46 @@ ServerSim::serveFront(std::size_t idx, bool was_active)
         trace_->span(r.arrival, t0 - r.arrival, obs::Name::Wait,
                      obs::Track::Requests,
                      r.id == kNoRequestId ? 0 : r.id);
+    const bool seg = traceSeg_ && r.id != kNoRequestId;
+    if (seg) {
+        // Split the admission -> serve-start wait into pure queueing
+        // and idle-injection gate overlap via the monotone gate
+        // integral: G(t0) - G(admit) is exactly the closed-gate time
+        // inside the wait, whatever the interleaving.
+        const sim::Tick gated = gateClosedTotalAt(t0) - r.gateBase;
+        const sim::Tick queued = t0 - r.admitAt - gated;
+        if (queued > 0)
+            trace_->span(r.admitAt, queued, obs::Name::SegQueue,
+                         obs::Track::Segments, r.id);
+        if (gated > 0)
+            trace_->span(r.admitAt + queued, gated,
+                         obs::Name::SegStallGate, obs::Track::Segments,
+                         r.id);
+    }
 
-    sim::Tick work = r.service
+    const sim::Tick base = r.service
         + (was_active ? 0
                       : (r.coalesced ? cfg_.workload.wakeOverheadCoalesced
                                      : cfg_.workload.wakeOverhead));
     // CPU-bound work dilates when DVFS has lowered the frequency.
-    work = static_cast<sim::Tick>(static_cast<double>(work)
-                                  * ctx.slowdown);
+    sim::Tick work = static_cast<sim::Tick>(static_cast<double>(base)
+                                            * ctx.slowdown);
+    // Cap-induced DVFS stall: the dilation beyond what the governor
+    // alone would have chosen (the clamp only ever slows further).
+    sim::Tick dvfs_stall = 0;
+    if (seg) {
+        const sim::Tick gov = static_cast<sim::Tick>(
+            static_cast<double>(base) * pstates_.slowdown(ctx.pstate));
+        if (work > gov)
+            dvfs_stall = work - gov;
+    }
     auto &mc = soc_->mc(idx % soc_->numMcs());
     mc.beginAccess();
 
     // The request completes when the local work has run *and* any
     // remote memory access has returned over UPI.
     auto pending = std::make_shared<int>(1);
-    auto finish = [this, idx, r, t0, &mc, pending] {
+    auto finish = [this, idx, r, t0, &mc, pending, seg, dvfs_stall] {
         if (--*pending > 0)
             return;
         mc.endAccess();
@@ -183,13 +233,30 @@ ServerSim::serveFront(std::size_t idx, bool was_active)
             trace_->span(t0, sim_.now() - t0, obs::Name::Serve,
                          obs::Track::Requests,
                          r.id == kNoRequestId ? 0 : r.id);
+        if (seg) {
+            const sim::Tick serve = sim_.now() - t0 - dvfs_stall;
+            if (serve > 0)
+                trace_->span(t0, serve, obs::Name::SegServe,
+                             obs::Track::Segments, r.id);
+            if (dvfs_stall > 0)
+                trace_->span(t0 + serve, dvfs_stall,
+                             obs::Name::SegStallDvfs,
+                             obs::Track::Segments, r.id);
+        }
         if (nic_) {
             // Response TX through the NIC: the request completes (and
             // the fleet's response enters the fabric) when the packet
             // has left the device, not when the core finished.
             const std::uint64_t rid = r.id;
-            nic_->txSend([this, rid] {
-                if (rid != kNoRequestId && completionFn_)
+            const sim::Tick serve_end = sim_.now();
+            nic_->txSend([this, rid, serve_end] {
+                if (rid == kNoRequestId)
+                    return;
+                if (traceSeg_ && sim_.now() > serve_end)
+                    trace_->span(serve_end, sim_.now() - serve_end,
+                                 obs::Name::SegXmitResp,
+                                 obs::Track::Segments, rid);
+                if (completionFn_)
                     completionFn_(rid, sim_.now());
             });
         } else {
@@ -378,6 +445,7 @@ ServerSim::scheduleCapInject()
             return;
         capGated_ = true;
         gateStart_ = sim_.now();
+        gateTotalStart_ = sim_.now();
         const auto gate = std::min(
             cfg_.cap.injectPeriod,
             std::max<sim::Tick>(
@@ -387,6 +455,7 @@ ServerSim::scheduleCapInject()
         sim_.after(gate, [this] {
             capGated_ = false;
             gatedTime_ += sim_.now() - gateStart_;
+            gatedTotal_ += sim_.now() - gateTotalStart_;
             pumpAll();
         });
     });
@@ -424,11 +493,13 @@ ServerSim::capPowerW() const
 }
 
 void
-ServerSim::enableTracing(obs::TraceWriter *w)
+ServerSim::enableTracing(obs::TraceWriter *w, bool segments)
 {
     trace_ = w;
+    traceSeg_ = segments && w != nullptr;
     // Components inside this simulation (the NIC) find the sink here.
     sim_.setTrace(w);
+    sim_.setTraceSegments(traceSeg_);
     // Package power-state spans: piggyback on the same triggers Soc
     // uses to recompute pkgState(). Signal subscription appends, so
     // the SoC's own observers are unaffected.

@@ -306,11 +306,14 @@ class ServerSim
      * Route this server's telemetry into @p w (call before start()).
      * Installs the writer as the simulation-wide trace sink (NIC
      * events), subscribes package-state tracking, and turns on the
-     * request/cap instrumentation. Tracing only appends POD records —
-     * it never schedules events or draws randomness, so a traced run's
-     * results are identical to an untraced one.
+     * request/cap instrumentation. With @p segments, additionally
+     * emits the per-request latency-attribution segment spans (wake,
+     * queue, gate/DVFS stalls, serve, TX; see obs/attribution.h).
+     * Tracing only appends POD records — it never schedules events or
+     * draws randomness, so a traced run's results are identical to an
+     * untraced one.
      */
-    void enableTracing(obs::TraceWriter *w);
+    void enableTracing(obs::TraceWriter *w, bool segments = false);
 
     /** Close the open package-state span (end of run). */
     void traceFlush();
@@ -341,6 +344,10 @@ class ServerSim
         sim::Tick service;
         bool coalesced; ///< arrived within the NIC coalesce window
         std::uint64_t id = kNoRequestId; ///< set for injected requests
+        // Attribution boundaries (set at admission; only read when
+        // segment tracing is on).
+        sim::Tick admitAt = 0;  ///< fabric open; enters the core queue
+        sim::Tick gateBase = 0; ///< gate-closed integral at admission
     };
 
     struct CoreCtx
@@ -385,6 +392,12 @@ class ServerSim
     void pumpAll();
     /** Emit the span of the package state just left (on change). */
     void tracePkgState();
+    /** Monotone closed-gate time integral G(@p t) (attribution). */
+    sim::Tick
+    gateClosedTotalAt(sim::Tick t) const
+    {
+        return gatedTotal_ + (capGated_ ? t - gateTotalStart_ : 0);
+    }
 
     ServerConfig cfg_;
     sim::Simulation sim_;
@@ -418,11 +431,17 @@ class ServerSim
     bool capGated_ = false;          ///< admission gate closed
     sim::Tick gateStart_ = 0;
     sim::Tick gatedTime_ = 0;        ///< closed-gate time this window
+    /** Monotone closed-gate time integral G(t) since start — never
+     *  reset by beginMeasurement(), so the attribution layer can take
+     *  exact differences G(t1) - G(t0) across any window. */
+    sim::Tick gatedTotal_ = 0;
+    sim::Tick gateTotalStart_ = 0; ///< open-interval base for G(t)
     double clampLossRate_ = 0.0;     ///< 1 - f_clamp/f_nom while clamped
     double clampLossIntegral_ = 0.0; ///< ticks * loss rate accumulator
     sim::Tick clampLossSince_ = 0;
     // Telemetry (null/idle unless enableTracing() was called).
     obs::TraceWriter *trace_ = nullptr;
+    bool traceSeg_ = false; ///< emit attribution segment spans
     std::size_t tracePkg_ = 0;      ///< pkg state the open span is in
     sim::Tick tracePkgSince_ = 0;   ///< open pkg-state span start
 };

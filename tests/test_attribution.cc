@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Tail-latency attribution tests: causal chain reassembly from synthetic
+ * traces, the exact-additivity invariant on a fabric+NIC+cap fleet grid
+ * (every critical path sums to its request's measured end-to-end latency
+ * in integer ticks), the zero-footprint contract (reports byte-identical
+ * with attribution on or off, across thread counts and shard layouts),
+ * blame-report export shape, drop flagging, and Perfetto flow events.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_sim.h"
+#include "obs/attribution.h"
+#include "obs/critpath.h"
+
+namespace apc {
+namespace {
+
+using sim::kMs;
+using sim::kUs;
+
+sim::Tick
+segOf(const obs::ReplicaPath &rp, obs::Segment s)
+{
+    return rp.seg[static_cast<std::size_t>(s)];
+}
+
+// -------------------------------------------------- synthetic assembly
+
+TEST(Attribution, ReassemblesSyntheticFanoutChain)
+{
+    obs::TraceConfig tc;
+    tc.enabled = true;
+    obs::Tracer tr(tc, 3); // writer 0 = fleet, 1 = server 0, 2 = server 1
+
+    // Request 7: fanout to servers 0 and 1; server 1 is the slow leg.
+    tr.writer(0)->span(100 * kUs, 50 * kUs, obs::Name::Request,
+                       obs::Track::Requests, 7);
+    // Replica on server 0 (fast): 10 xmit + 5 wake + 20 serve + 10 resp.
+    tr.writer(0)->span(100 * kUs, 10 * kUs, obs::Name::SegXmitReq,
+                       obs::Track::Segments, 7, 0.0);
+    tr.writer(1)->span(110 * kUs, 5 * kUs, obs::Name::SegWake,
+                       obs::Track::Segments, 7);
+    tr.writer(1)->span(115 * kUs, 20 * kUs, obs::Name::SegServe,
+                       obs::Track::Segments, 7);
+    tr.writer(0)->span(135 * kUs, 10 * kUs, obs::Name::SegXmitResp,
+                       obs::Track::Segments, 7, 0.0);
+    // Replica on server 1 (critical): sums to the full 50 us.
+    tr.writer(0)->span(100 * kUs, 10 * kUs, obs::Name::SegXmitReq,
+                       obs::Track::Segments, 7, 1.0);
+    tr.writer(2)->span(110 * kUs, 8 * kUs, obs::Name::SegQueue,
+                       obs::Track::Segments, 7);
+    tr.writer(2)->span(118 * kUs, 4 * kUs, obs::Name::SegStallGate,
+                       obs::Track::Segments, 7);
+    tr.writer(2)->span(122 * kUs, 18 * kUs, obs::Name::SegServe,
+                       obs::Track::Segments, 7);
+    tr.writer(2)->span(140 * kUs, 2 * kUs, obs::Name::SegStallDvfs,
+                       obs::Track::Segments, 7);
+    tr.writer(0)->span(142 * kUs, 8 * kUs, obs::Name::SegXmitResp,
+                       obs::Track::Segments, 7, 1.0);
+
+    const obs::AttributionResult res = obs::buildAttribution(tr);
+    EXPECT_EQ(res.violations, 0u);
+    EXPECT_EQ(res.incomplete, 0u);
+    EXPECT_EQ(res.ringDropped, 0u);
+    ASSERT_EQ(res.requests.size(), 1u);
+
+    const obs::RequestPath &rp = res.requests[0];
+    EXPECT_EQ(rp.id, 7u);
+    EXPECT_EQ(rp.arrival, 100 * kUs);
+    EXPECT_EQ(rp.e2e, 50 * kUs);
+    EXPECT_TRUE(rp.additive);
+    ASSERT_EQ(rp.replicas.size(), 2u);
+
+    const obs::ReplicaPath &cp = rp.criticalPath();
+    EXPECT_EQ(cp.srv, 1u); // the slow leg won
+    EXPECT_EQ(cp.total(), 50 * kUs);
+    EXPECT_EQ(segOf(cp, obs::Segment::XmitReq), 10 * kUs);
+    EXPECT_EQ(segOf(cp, obs::Segment::Queue), 8 * kUs);
+    EXPECT_EQ(segOf(cp, obs::Segment::StallGate), 4 * kUs);
+    EXPECT_EQ(segOf(cp, obs::Segment::Serve), 18 * kUs);
+    EXPECT_EQ(segOf(cp, obs::Segment::StallDvfs), 2 * kUs);
+    EXPECT_EQ(segOf(cp, obs::Segment::XmitResp), 8 * kUs);
+    EXPECT_EQ(cp.dominant(), obs::Segment::Serve);
+
+    // The fast leg assembled independently and sums to its own latency.
+    const obs::ReplicaPath &fast = rp.replicas[1 - rp.critical];
+    EXPECT_EQ(fast.srv, 0u);
+    EXPECT_EQ(fast.total(), 45 * kUs);
+}
+
+TEST(Attribution, LostRequestsAreExcluded)
+{
+    obs::TraceConfig tc;
+    tc.enabled = true;
+    obs::Tracer tr(tc, 2);
+    tr.writer(0)->instant(10 * kUs, obs::Name::Lost, obs::Track::Requests,
+                          3);
+    tr.writer(0)->span(10 * kUs, 5 * kUs, obs::Name::SegXmitReq,
+                       obs::Track::Segments, 3, 0.0);
+
+    const obs::AttributionResult res = obs::buildAttribution(tr);
+    EXPECT_EQ(res.requests.size(), 0u);
+    EXPECT_EQ(res.lostExcluded, 1u);
+    EXPECT_EQ(res.violations, 0u);
+}
+
+TEST(Attribution, PlainTracesWithoutSegmentsProduceNothing)
+{
+    // A trace recorded without attribution has Request spans but no
+    // segment spans: nothing to attribute, nothing to flag.
+    obs::TraceConfig tc;
+    tc.enabled = true;
+    obs::Tracer tr(tc, 2);
+    tr.writer(0)->span(0, 100 * kUs, obs::Name::Request,
+                       obs::Track::Requests, 1);
+    tr.writer(0)->span(0, 200 * kUs, obs::Name::Request,
+                       obs::Track::Requests, 2);
+
+    const obs::AttributionResult res = obs::buildAttribution(tr);
+    EXPECT_EQ(res.requests.size(), 0u);
+    EXPECT_EQ(res.violations, 0u);
+    EXPECT_EQ(res.incomplete, 0u);
+}
+
+TEST(Attribution, RingDropsFlagMismatchedChainsAsIncomplete)
+{
+    obs::TraceConfig tc;
+    tc.enabled = true;
+    tc.ringCapacity = 2; // forces wrap on the fleet writer
+    obs::Tracer tr(tc, 2);
+    // Three records through a 2-slot ring: the oldest (the request's
+    // xmit span) is evicted, so the surviving chain cannot sum to e2e.
+    tr.writer(0)->span(0, 30 * kUs, obs::Name::SegXmitReq,
+                       obs::Track::Segments, 9, 0.0);
+    tr.writer(1)->span(30 * kUs, 70 * kUs, obs::Name::SegServe,
+                       obs::Track::Segments, 9);
+    tr.writer(0)->span(0, 100 * kUs, obs::Name::Request,
+                       obs::Track::Requests, 9);
+    tr.writer(0)->span(0, 1 * kUs, obs::Name::SegRto,
+                       obs::Track::Segments, 9, 0.0);
+
+    const obs::AttributionResult res = obs::buildAttribution(tr);
+    EXPECT_GT(res.ringDropped, 0u);
+    EXPECT_EQ(res.requests.size(), 0u);
+    EXPECT_EQ(res.incomplete, 1u);
+    EXPECT_EQ(res.violations, 0u); // drops explain the gap, not a bug
+}
+
+// ---------------------------------------------- fleet-level invariants
+
+fleet::FleetConfig
+gridFleet(std::size_t servers, unsigned threads, std::size_t shard_size,
+          bool attribution)
+{
+    fleet::FleetConfig fc;
+    fc.numServers = servers;
+    fc.policy = soc::PackagePolicy::Cpc1a;
+    fc.workload = workload::WorkloadConfig::memcachedEtc(0);
+    fc.dispatch = fleet::DispatchKind::LeastOutstanding;
+    fc.traffic.arrivalKind = workload::ArrivalKind::Poisson;
+    fc.traffic.qps = fc.workload.qpsForUtilization(
+        0.05, static_cast<int>(fc.numServers) * 10);
+    fc.traffic.fanout = {0.05, 4};
+    fc.sloUs = 10000.0;
+    fc.warmup = 4 * kMs;
+    fc.duration = 12 * kMs;
+    fc.seed = 99;
+    fc.threads = threads;
+    fc.shardSize = shard_size;
+    // The full stack: lossy fabric + NIC coalescing + oversubscribed
+    // budget capping (both actuators), so every segment class can
+    // appear on a critical path.
+    fc.fabric.enabled = true;
+    fc.nic.enabled = true;
+    fc.nic.rxUsecs = 20 * kUs;
+    fc.budget.enabled = true;
+    fc.budget.oversubscription = 1.5;
+    fc.cap.actuator = cap::CapActuator::Hybrid;
+    fc.attribution.enabled = attribution;
+    fc.trace.ringCapacity = 1u << 18; // fleet spine carries all transits
+    return fc;
+}
+
+TEST(AttributionFleet, ThousandServerGridIsExactlyAdditive)
+{
+    auto fc = gridFleet(1000, 8, 0, true);
+    // The fleet spine records every request's transits: at this scale
+    // that is several records per request, so give writer 0 room — the
+    // additivity check below requires zero ring drops.
+    fc.trace.ringCapacity = 1u << 20;
+    fleet::FleetSim fleet(fc);
+    const fleet::FleetReport rep = fleet.run();
+    ASSERT_GT(rep.dispatched, 1000u);
+
+    // No ring wrap: every chain must be present and exact.
+    EXPECT_EQ(rep.traceDrops, 0u);
+    ASSERT_TRUE(rep.attribution.enabled);
+    EXPECT_EQ(rep.attribution.violations, 0u);
+    EXPECT_EQ(rep.attribution.incomplete, 0u);
+    EXPECT_GT(rep.attribution.requests, 1000u);
+    EXPECT_GT(rep.attribution.fanoutRequests, 0u);
+
+    // Exact integer additivity on every carried sample: the critical
+    // path's segments sum to the measured end-to-end latency.
+    ASSERT_GT(rep.attribution.samples.size(), 100u);
+    for (const obs::RequestSample &s : rep.attribution.samples) {
+        sim::Tick sum = 0;
+        for (std::size_t k = 0; k < obs::kNumSegments; ++k)
+            sum += s.segTicks[k];
+        ASSERT_EQ(sum, s.e2eTicks) << "request " << s.id;
+    }
+
+    // Bands partition the attributed population, and each band's
+    // per-segment means sum (in FP) to its end-to-end mean.
+    std::uint64_t banded = 0;
+    for (std::size_t b = 0; b < obs::LatencyAttribution::kNumBands; ++b) {
+        const obs::BlameBand &band = rep.attribution.bands[b];
+        banded += band.count;
+        if (band.count == 0)
+            continue;
+        double sum = 0.0;
+        for (double v : band.segMeanUs)
+            sum += v;
+        EXPECT_NEAR(sum, band.e2eMeanUs, 1e-6 * band.e2eMeanUs + 1e-9)
+            << "band " << obs::LatencyAttribution::bandLabel(b);
+    }
+    EXPECT_EQ(banded, rep.attribution.requests);
+
+    // Critical-segment counts cover every attributed request.
+    std::uint64_t critical = 0;
+    for (std::uint64_t c : rep.attribution.criticalBySegment)
+        critical += c;
+    EXPECT_EQ(critical, rep.attribution.requests);
+
+    // The grid ran hot enough that serve time isn't the whole story.
+    EXPECT_GT(rep.attribution.tailMeanUs(obs::Segment::Serve), 0.0);
+}
+
+TEST(AttributionFleet, ZeroFootprintAcrossThreadsAndShardLayouts)
+{
+    // Reports must be byte-identical with attribution on or off, at any
+    // thread count and shard size — and the attribution itself must be
+    // identical across layouts.
+    const fleet::FleetReport plain =
+        fleet::FleetSim(gridFleet(192, 1, 0, false)).run();
+    const std::string reference = plain.csvRow();
+
+    struct Point
+    {
+        unsigned threads;
+        std::size_t shardSize;
+    };
+    std::string ref_blame;
+    for (const Point &p : std::vector<Point>{{1, 0}, {2, 7}, {8, 64}}) {
+        fleet::FleetSim fleet(
+            gridFleet(192, p.threads, p.shardSize, true));
+        const fleet::FleetReport rep = fleet.run();
+        EXPECT_EQ(rep.csvRow(), reference)
+            << "threads=" << p.threads << " shardSize=" << p.shardSize;
+        EXPECT_EQ(rep.attribution.violations, 0u);
+
+        char *buf = nullptr;
+        std::size_t len = 0;
+        std::FILE *f = open_memstream(&buf, &len);
+        ASSERT_TRUE(rep.attribution.writeJson(f));
+        std::fclose(f);
+        std::string blame(buf, len);
+        free(buf);
+        if (ref_blame.empty())
+            ref_blame = blame;
+        else
+            EXPECT_EQ(blame, ref_blame)
+                << "blame report differs at threads=" << p.threads;
+    }
+}
+
+TEST(AttributionFleet, BlameReportExportShape)
+{
+    fleet::FleetSim fleet(gridFleet(32, 2, 0, true));
+    const fleet::FleetReport rep = fleet.run();
+    ASSERT_TRUE(rep.attribution.enabled);
+
+    char *buf = nullptr;
+    std::size_t len = 0;
+    std::FILE *f = open_memstream(&buf, &len);
+    ASSERT_TRUE(rep.attribution.writeCsv(f));
+    std::fclose(f);
+    std::string csv(buf, len);
+    free(buf);
+    EXPECT_NE(csv.find("band,count,e2e_mean_us"), std::string::npos);
+    EXPECT_NE(csv.find("stall_gate_us"), std::string::npos);
+    for (const char *band : {"p50", "p95", "p99", "p999", "p100"})
+        EXPECT_NE(csv.find(std::string("\n") + band + ","),
+                  std::string::npos)
+            << band;
+
+    f = open_memstream(&buf, &len);
+    ASSERT_TRUE(rep.attribution.writeJson(f));
+    std::fclose(f);
+    std::string json(buf, len);
+    free(buf);
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"segments\": [\"xmit_req\", \"rto\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"bands\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"blame_us\""), std::string::npos);
+    EXPECT_NE(json.find("\"critical_segment_counts\""), std::string::npos);
+    EXPECT_NE(json.find("\"samples\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"seg_ticks\""), std::string::npos);
+    EXPECT_NE(json.find("\"violations\": 0"), std::string::npos);
+    EXPECT_FALSE(rep.attribution.writeJson("/nonexistent/dir/blame.json"));
+}
+
+TEST(AttributionFleet, TraceExportCarriesFlowEvents)
+{
+    fleet::FleetSim fleet(gridFleet(32, 2, 0, true));
+    (void)fleet.run();
+    const std::string path = "/tmp/apc_test_attr_trace.json";
+    ASSERT_TRUE(fleet.writeTrace(path));
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string out;
+    char chunk[4096];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        out.append(chunk, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    // Segment spans and the s/t/f flow triplets made it into the export.
+    EXPECT_NE(out.find("\"name\":\"seg_serve\""), std::string::npos);
+    EXPECT_NE(out.find("\"args\":{\"name\":\"segments\"}"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"t\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"f\",\"bp\":\"e\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"req_flow\""), std::string::npos);
+}
+
+TEST(AttributionFleet, TinyRingsAreFlaggedNotAsserted)
+{
+    auto fc = gridFleet(32, 2, 0, true);
+    fc.trace.ringCapacity = 512; // far too small: rings must wrap
+    fleet::FleetSim fleet(fc);
+    const fleet::FleetReport rep = fleet.run();
+    EXPECT_GT(rep.traceDrops, 0u);
+    EXPECT_GT(rep.traceRecords, rep.traceDrops);
+    // Broken chains are flagged incomplete — never reported as additive
+    // garbage, and never counted as invariant violations.
+    EXPECT_EQ(rep.attribution.violations, 0u);
+    EXPECT_EQ(rep.attribution.ringDropped, rep.traceDrops);
+}
+
+} // namespace
+} // namespace apc

@@ -43,6 +43,70 @@ TEST(StringInterner, IdsAreStableAndDeduplicated)
     EXPECT_EQ(in.size(), 2u);
 }
 
+TEST(StringInterner, BoundedTableRejectsOverflowButNeverForgets)
+{
+    obs::StringInterner in(2);
+    EXPECT_EQ(in.capacity(), 2u);
+    const obs::StrId a = in.intern("alpha");
+    const obs::StrId b = in.intern("beta");
+    ASSERT_NE(a, obs::kNoStr);
+    ASSERT_NE(b, obs::kNoStr);
+
+    // Capacity exhausted: first-sight interns are rejected and counted.
+    EXPECT_EQ(in.intern("gamma"), obs::kNoStr);
+    EXPECT_EQ(in.intern("delta"), obs::kNoStr);
+    EXPECT_EQ(in.rejected(), 2u);
+    EXPECT_EQ(in.size(), 2u);
+    EXPECT_EQ(in.find("gamma"), obs::kNoStr);
+
+    // Re-interning what the table already holds still succeeds, with
+    // the same id as the first registration.
+    EXPECT_EQ(in.intern("alpha"), a);
+    EXPECT_EQ(in.intern("beta"), b);
+    EXPECT_EQ(in.rejected(), 2u); // duplicates are not rejections
+}
+
+TEST(StringInterner, DuplicateReinternKeepsFirstRegistrationId)
+{
+    obs::StringInterner in;
+    const obs::StrId a = in.intern("series.power");
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(in.intern("series.power"), a);
+    EXPECT_EQ(in.size(), 1u);
+    // Ids depend only on registration order.
+    EXPECT_EQ(in.intern("series.later"), a + 1);
+}
+
+TEST(Tracer, InternedIdsSurviveTraceWriterReset)
+{
+    obs::TraceConfig tc;
+    tc.enabled = true;
+    obs::Tracer tr(tc, 1);
+    const obs::StrId custom = tr.intern("phase.alpha");
+    obs::TraceWriter *w = tr.writer(0);
+    w->counter(1 * kUs, obs::Name::CapLimitW, obs::Track::Cap, 1.0);
+    w->record(obs::TraceKind::Counter, obs::Track::Cap, 2 * kUs, 0,
+              custom, 0, 2.0);
+    ASSERT_EQ(w->size(), 2u);
+
+    // Reset discards records but not the shared name table: the same
+    // string resolves to the same id, and a record written under the
+    // old id still renders the right name.
+    w->reset();
+    EXPECT_EQ(w->size(), 0u);
+    EXPECT_EQ(w->recorded(), 0u);
+    EXPECT_EQ(w->dropped(), 0u);
+    EXPECT_EQ(tr.intern("phase.alpha"), custom);
+    EXPECT_STREQ(tr.nameOf(custom), "phase.alpha");
+    w->record(obs::TraceKind::Counter, obs::Track::Cap, 3 * kUs, 0,
+              custom, 0, 3.0);
+    ASSERT_EQ(w->size(), 1u);
+    w->forEach([custom](const obs::TraceRecord &r) {
+        EXPECT_EQ(r.name, custom);
+        EXPECT_EQ(r.seq, 0u); // sequence restarts after reset
+    });
+}
+
 // ----------------------------------------------------------- ring buffer
 
 TEST(TraceWriter, WrapsOverOldestAndCountsDrops)
