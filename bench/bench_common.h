@@ -107,8 +107,10 @@ fleetCols(const fleet::FleetReport &r)
 }
 
 /** Schema revision stamped into every BENCH_*.json summary. Bump when
- *  a field is added/renamed so trajectory tooling can gate on it. */
-inline constexpr int kBenchJsonSchemaVersion = 2;
+ *  a field is added/renamed so trajectory tooling can gate on it.
+ *  v3: health block (alerts_fired/worst_burn/time_in_violation_us/
+ *  audit_violations) on capped sweep points + the breaker scenario. */
+inline constexpr int kBenchJsonSchemaVersion = 3;
 
 /**
  * Turn on tail-latency attribution for a bench fleet run. Attribution
@@ -157,6 +159,57 @@ blameCsvCols(const fleet::FleetReport &r, obs::Segment a,
                            .c_str()) +
         "," + obs::fmtDouble(r.attribution.tailMeanUs(b)).c_str() +
         "," + obs::segmentName(r.attribution.tailDominant());
+}
+
+/**
+ * Turn on fleet health monitoring (obs/health.h) for a bench run: SLO
+ * burn-rate alerting plus the epoch-boundary invariant auditor. Same
+ * zero-footprint contract as attribution — the headline report bytes
+ * do not change — so benches surface alert/audit columns for free.
+ */
+inline void
+enableHealth(fleet::FleetConfig &fc)
+{
+    fc.health.enabled = true;
+}
+
+/** Header labels matching healthCols(). */
+inline std::vector<std::string>
+healthColHeaders()
+{
+    return {"alerts", "burn", "viol ms", "audit"};
+}
+
+/** Health block for the bench tables: burn-rate alerts fired, worst
+ *  sustained burn, sim-time spent in violation, audit violations. */
+inline std::vector<std::string>
+healthCols(const fleet::FleetReport &r)
+{
+    using analysis::TablePrinter;
+    return {TablePrinter::num(
+                static_cast<double>(r.health.alertsFired), 0),
+            TablePrinter::num(r.health.worstBurn, 1),
+            TablePrinter::num(r.health.timeInViolationUs() / 1000.0, 1),
+            TablePrinter::num(
+                static_cast<double>(r.health.auditViolations), 0)};
+}
+
+/** CSV fields matching healthCsvCols(). */
+inline std::string
+healthCsvHeader()
+{
+    return "alerts_fired,worst_burn,time_in_violation_us,"
+           "audit_violations";
+}
+
+/** Round-trip-exact CSV row fragment for the health columns. */
+inline std::string
+healthCsvCols(const fleet::FleetReport &r)
+{
+    return std::to_string(r.health.alertsFired) + "," +
+        obs::fmtDouble(r.health.worstBurn).c_str() + "," +
+        obs::fmtFixed(r.health.timeInViolationUs(), 3).c_str() + "," +
+        std::to_string(r.health.auditViolations);
 }
 
 /**

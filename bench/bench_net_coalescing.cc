@@ -38,6 +38,11 @@ runPoint(double util, sim::Tick rx_usecs)
     // Attribution splits each request's tail cost into causal segments
     // — the ring-wait vs package-wake trade-off measured directly.
     bench::enableAttribution(fc);
+    // Health: wide windows trade tail for residency; the burn-rate
+    // columns show when that trade starts costing SLO budget, and the
+    // auditor cross-checks link/flight conservation on every point.
+    bench::enableHealth(fc);
+    fc.health.slo.latencyThresholdUs = fc.sloUs;
     return fleet::FleetSim(fc).run();
 }
 
@@ -55,17 +60,21 @@ main()
     TablePrinter t("8-server fleet over ToR fabric, Memcached-ETC, "
                    "MMPP arrivals, C_PC1A servers — rx-usecs vs "
                    "p99 / PC1A residency / J/req");
-    t.header({"Load", "rx-usecs", "irq/s/srv", "pkts/irq", "p99 (us)",
-              "PC1A res", "Fleet W", "J/req", "lost", "t.ring us",
-              "t.wake us", "tail blame"});
+    std::vector<std::string> hdr{
+        "Load", "rx-usecs", "irq/s/srv", "pkts/irq", "p99 (us)",
+        "PC1A res", "Fleet W", "J/req", "lost", "t.ring us",
+        "t.wake us", "tail blame"};
+    bench::appendCols(hdr, bench::healthColHeaders());
+    t.header(std::move(hdr));
 
     std::FILE *csv = bench::csvSink();
     if (csv)
-        std::fprintf(csv, "load,rx_usecs,%s,%s\n",
+        std::fprintf(csv, "load,rx_usecs,%s,%s,%s\n",
                      fleet::FleetReport::csvHeader().c_str(),
                      bench::blameCsvHeader(obs::Segment::NicRing,
                                            obs::Segment::Wake)
-                         .c_str());
+                         .c_str(),
+                     bench::healthCsvHeader().c_str());
 
     const double window_s =
         sim::toSeconds(bench::benchDuration(300 * sim::kMs));
@@ -94,15 +103,17 @@ main()
             bench::appendCols(row,
                               bench::blameCols(r, obs::Segment::NicRing,
                                                obs::Segment::Wake));
+            bench::appendCols(row, bench::healthCols(r));
             t.row(std::move(row));
             if (csv)
-                std::fprintf(csv, "%.2f,%lld,%s,%s\n", load,
+                std::fprintf(csv, "%.2f,%lld,%s,%s,%s\n", load,
                              static_cast<long long>(w),
                              r.csvRow().c_str(),
                              bench::blameCsvCols(r,
                                                  obs::Segment::NicRing,
                                                  obs::Segment::Wake)
-                                 .c_str());
+                                 .c_str(),
+                             bench::healthCsvCols(r).c_str());
         }
         endpoints.emplace_back(std::move(base), std::move(wide));
     }

@@ -60,16 +60,38 @@ capConfig(double load, double oversub, cap::CapActuator act,
     fc.budget.enabled = capped;
     fc.budget.oversubscription = oversub;
     fc.cap.actuator = act;
-    if (capped)
+    if (capped) {
         // Attribution answers the actuator question causally: is the
         // added tail an idle-injection gate stall or a DVFS slowdown?
         bench::enableAttribution(fc);
+        // Health turns the same run into an SRE view: did the capping
+        // transient burn enough SLO budget to page anyone?
+        bench::enableHealth(fc);
+        fc.health.slo.latencyThresholdUs = fc.sloUs;
+    }
+    return fc;
+}
+
+/** The breaker-trip scenario: a mid-window emergency derate sized to
+ *  the bench duration, with a short violation grace so the burn-rate
+ *  monitor sees the trip through its windows. */
+fleet::FleetConfig
+breakerConfig(double load, sim::Tick duration)
+{
+    auto fc = capConfig(load, 1.0, cap::CapActuator::IdleInject, true);
+    fc.budget.breaker.enabled = true;
+    fc.budget.breaker.at = fc.warmup + duration * 2 / 5;
+    fc.budget.breaker.duration = duration * 3 / 10;
+    fc.budget.breaker.factor = 0.35;
+    fc.cap.settleTime = 2 * sim::kMs;
     return fc;
 }
 
 void
 writeJson(const char *path, const std::vector<Point> &points,
-          const Point *idle15, const Point *dvfs15, double slo_us)
+          const Point *idle15, const Point *dvfs15, double slo_us,
+          const fleet::FleetConfig &trip_cfg,
+          const fleet::FleetReport &trip)
 {
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -96,6 +118,8 @@ writeJson(const char *path, const std::vector<Point> &points,
             "\"perf_loss\": %.4f, \"budget_util\": %.4f, "
             "\"tail_stall_gate_us\": %s, \"tail_stall_dvfs_us\": %s, "
             "\"tail_dominant\": \"%s\", "
+            "\"alerts_fired\": %llu, \"worst_burn\": %s, "
+            "\"time_in_violation_us\": %s, \"audit_violations\": %llu, "
             "\"met_budget\": %s, \"met_slo\": %s}%s\n",
             p.load, p.oversub, cap::capActuatorName(p.actuator),
             p.rep.rackBudgetW, p.rep.pkgPowerW, p.rep.joulesPerRequest,
@@ -109,11 +133,33 @@ writeJson(const char *path, const std::vector<Point> &points,
                                obs::Segment::StallDvfs))
                 .c_str(),
             obs::segmentName(p.rep.attribution.tailDominant()),
+            static_cast<unsigned long long>(p.rep.health.alertsFired),
+            obs::fmtDouble(p.rep.health.worstBurn).c_str(),
+            obs::fmtFixed(p.rep.health.timeInViolationUs(), 3).c_str(),
+            static_cast<unsigned long long>(
+                p.rep.health.auditViolations),
             p.metBudget() ? "true" : "false",
             p.rep.p99LatencyUs <= slo_us ? "true" : "false",
             i + 1 < points.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    std::fprintf(
+        f,
+        "  \"breaker\": {\"load\": %.2f, \"factor\": %.2f, "
+        "\"at_ms\": %lld, \"duration_ms\": %lld, "
+        "\"alerts_fired\": %llu, \"alerts_resolved\": %llu, "
+        "\"worst_burn\": %s, \"worst_burn_sli\": \"%s\", "
+        "\"time_in_violation_us\": %s, \"audit_violations\": %llu},\n",
+        0.30, trip_cfg.budget.breaker.factor,
+        static_cast<long long>(trip_cfg.budget.breaker.at / sim::kMs),
+        static_cast<long long>(
+            trip_cfg.budget.breaker.duration / sim::kMs),
+        static_cast<unsigned long long>(trip.health.alertsFired),
+        static_cast<unsigned long long>(trip.health.alertsResolved),
+        obs::fmtDouble(trip.health.worstBurn).c_str(),
+        obs::sliName(trip.health.worstBurnSli),
+        obs::fmtFixed(trip.health.timeInViolationUs(), 3).c_str(),
+        static_cast<unsigned long long>(trip.health.auditViolations));
     if (idle15 && dvfs15) {
         std::fprintf(
             f,
@@ -155,18 +201,21 @@ main()
 
     std::FILE *csv = bench::csvSink();
     if (csv)
-        std::fprintf(csv, "load,oversub,actuator,%s,%s\n",
+        std::fprintf(csv, "load,oversub,actuator,%s,%s,%s\n",
                      fleet::FleetReport::csvHeader().c_str(),
                      bench::blameCsvHeader(obs::Segment::StallGate,
                                            obs::Segment::StallDvfs)
-                         .c_str());
+                         .c_str(),
+                     bench::healthCsvHeader().c_str());
 
     TablePrinter t("4-server rack, Memcached-ETC, C_PC1A servers, "
                    "closed-loop capping to the allocated budget");
-    t.header({"Load", "Oversub", "Actuator", "Budget W", "Fleet W",
-              "viol%", "throttle", "p99 (us)", "+p99 vs free",
-              "J/req", "held", "t.gate us", "t.dvfs us",
-              "tail blame"});
+    std::vector<std::string> hdr{
+        "Load", "Oversub", "Actuator", "Budget W", "Fleet W",
+        "viol%", "throttle", "p99 (us)", "+p99 vs free",
+        "J/req", "held", "t.gate us", "t.dvfs us", "tail blame"};
+    bench::appendCols(hdr, bench::healthColHeaders());
+    t.header(std::move(hdr));
 
     std::vector<Point> points;
     const Point *idleHead = nullptr, *dvfsHead = nullptr;
@@ -187,13 +236,14 @@ main()
                 p.p99UncappedUs = free_.p99LatencyUs;
                 points.push_back(p);
                 if (csv)
-                    std::fprintf(csv, "%.2f,%.2f,%s,%s,%s\n", load, ov,
-                                 cap::capActuatorName(act),
+                    std::fprintf(csv, "%.2f,%.2f,%s,%s,%s,%s\n", load,
+                                 ov, cap::capActuatorName(act),
                                  p.rep.csvRow().c_str(),
                                  bench::blameCsvCols(
                                      p.rep, obs::Segment::StallGate,
                                      obs::Segment::StallDvfs)
-                                     .c_str());
+                                     .c_str(),
+                                 bench::healthCsvCols(p.rep).c_str());
                 std::vector<std::string> row{
                     TablePrinter::percent(load, 0),
                     TablePrinter::num(ov, 2) + "x",
@@ -212,6 +262,7 @@ main()
                     row, bench::blameCols(p.rep,
                                           obs::Segment::StallGate,
                                           obs::Segment::StallDvfs));
+                bench::appendCols(row, bench::healthCols(p.rep));
                 t.row(std::move(row));
             }
     }
@@ -252,9 +303,27 @@ main()
             "strategy.\n");
     }
 
+    // Breaker-trip scenario: a mid-window emergency derate to 35% of
+    // the rack budget — what does the SLO burn-rate monitor see while
+    // the allocator sheds more than half the fleet's power?
+    const fleet::FleetConfig trip_cfg =
+        breakerConfig(0.30, bench::benchDuration(300 * sim::kMs));
+    const auto trip = fleet::FleetSim(trip_cfg).run();
+    std::printf(
+        "\nBreaker trip (load 30%%, derate to %.0f%% for %lld ms): "
+        "%llu burn-rate alert(s) fired (worst burn %.1f on the %s "
+        "SLI), %.1f ms in violation, %llu audit violation(s)\n",
+        trip_cfg.budget.breaker.factor * 100,
+        static_cast<long long>(
+            trip_cfg.budget.breaker.duration / sim::kMs),
+        static_cast<unsigned long long>(trip.health.alertsFired),
+        trip.health.worstBurn, obs::sliName(trip.health.worstBurnSli),
+        trip.health.timeInViolationUs() / 1000.0,
+        static_cast<unsigned long long>(trip.health.auditViolations));
+
     const char *json_path = std::getenv("APC_BENCH_JSON");
     writeJson(json_path && *json_path ? json_path
                                       : "BENCH_powercap.json",
-              points, idleHead, dvfsHead, slo_us);
+              points, idleHead, dvfsHead, slo_us, trip_cfg, trip);
     return csv_ok ? 0 : 1;
 }

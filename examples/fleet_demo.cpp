@@ -14,6 +14,9 @@
  *                           run and export the time series as CSV
  *   APC_ATTR_OUT=<path>     enable tail-latency attribution on the same
  *                           run and export the blame report as JSON
+ *   APC_HEALTH_OUT=<path>   enable SLO burn-rate alerting + the
+ *                           invariant auditor on the same run and export
+ *                           the alert log as JSON
  *   APC_BENCH_DURATION_MS=<ms>  shrink the simulated window (CI smoke)
  */
 
@@ -93,6 +96,7 @@ main()
     const char *trace_out = std::getenv("APC_TRACE_OUT");
     const char *metrics_out = std::getenv("APC_METRICS_OUT");
     const char *attr_out = std::getenv("APC_ATTR_OUT");
+    const char *health_out = std::getenv("APC_HEALTH_OUT");
 
     bool obs_ok = true;
     fleet::FleetReport reports[3];
@@ -105,6 +109,9 @@ main()
         fc.trace.enabled = observed && trace_out && *trace_out;
         fc.metrics.enabled = observed && metrics_out && *metrics_out;
         fc.attribution.enabled = observed && attr_out && *attr_out;
+        fc.health.enabled = observed && health_out && *health_out;
+        if (fc.health.enabled)
+            fc.health.slo.latencyThresholdUs = fc.sloUs;
         if (fc.attribution.enabled)
             // Segment spans are ~10 records per request; give the rings
             // headroom so the spine doesn't wrap over a full demo run.
@@ -154,6 +161,27 @@ main()
                 std::fprintf(stderr,
                              "error: blame export to %s failed\n",
                              attr_out);
+                obs_ok = false;
+            }
+        }
+        if (fc.health.enabled) {
+            const obs::HealthReport &h = reports[i].health;
+            if (fleet.writeAlertsJson(health_out))
+                std::printf("Wrote health report: %s (%llu alerts fired, "
+                            "%llu resolved, %llu audits / %llu checks, "
+                            "%llu violations)\n",
+                            health_out,
+                            static_cast<unsigned long long>(h.alertsFired),
+                            static_cast<unsigned long long>(
+                                h.alertsResolved),
+                            static_cast<unsigned long long>(h.audits),
+                            static_cast<unsigned long long>(h.auditChecks),
+                            static_cast<unsigned long long>(
+                                h.auditViolations));
+            else {
+                std::fprintf(stderr,
+                             "error: health export to %s failed\n",
+                             health_out);
                 obs_ok = false;
             }
         }

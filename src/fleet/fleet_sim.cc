@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "stats/reduce.h"
 
@@ -131,6 +132,14 @@ FleetSim::FleetSim(FleetConfig cfg)
             servers_[i]->enableTracing(tracer_->writer(i + 1), attr_);
         }
     }
+    if (cfg_.metrics.enabled && cfg_.metrics.interval <= 0) {
+        // due() is `now >= next_`: a non-positive interval would sample
+        // every epoch forever. Reject at setup rather than silently
+        // flooding the series store.
+        std::fprintf(stderr, "fleet: metrics.interval must be positive; "
+                             "disabling metrics sampling\n");
+        cfg_.metrics.enabled = false;
+    }
     if (cfg_.metrics.enabled) {
         metrics_ = std::make_unique<obs::MetricsSampler>(cfg_.metrics);
         series_.fleetPowerW = metrics_->addSeries("fleet.pkg_power_w");
@@ -162,6 +171,22 @@ FleetSim::FleetSim(FleetConfig cfg)
                         metrics_->addSeries("server.cap_limit_w", e));
             }
         }
+    }
+    // Audit-as-sanitizer: the environment can force the invariant
+    // auditor on (failFast) for every fleet run — CI runs the whole
+    // test suite this way. Health only reads simulation state, so
+    // forcing it on cannot change any result.
+    if (const char *env = std::getenv("APC_AUDIT_FAILFAST");
+        env && *env && *env != '0') {
+        cfg_.health.enabled = true;
+        cfg_.health.audit.enabled = true;
+        cfg_.health.audit.failFast = true;
+    }
+    if (cfg_.health.enabled) {
+        health_ =
+            std::make_unique<obs::HealthMonitor>(cfg_.health, cfg_.sloUs);
+        if (fleetTrace_)
+            health_->setTrace(fleetTrace_);
     }
     traffic_ = std::make_unique<TrafficSource>(
         cfg_.traffic, mixSeed(cfg_.seed, 0xF1EE7));
@@ -452,6 +477,8 @@ FleetSim::finishFlight(FlightMap::iterator it)
             // answers the client: count it lost and against the SLO.
             ++lostRequests_;
             ++sloViolations_;
+            if (health_)
+                health_->slo().recordLost();
         } else {
             // End-to-end: slowest replica's response at the client.
             // Without a fabric the constant network RTT stands in.
@@ -463,8 +490,11 @@ FleetSim::finishFlight(FlightMap::iterator it)
             latencyHistUs_.record(us);
             if (us > cfg_.sloUs)
                 ++sloViolations_;
+            if (health_)
+                health_->slo().recordLatency(us);
         }
     }
+    ++flightsFinished_;
     inFlight_.erase(it);
 }
 
@@ -603,6 +633,8 @@ FleetSim::run()
         }
         if (metrics_ && metrics_->due(t1))
             sampleMetrics(t1);
+        if (health_ && measuring_)
+            healthEpoch(t, t1);
         t = t1;
     }
 
@@ -629,6 +661,8 @@ FleetSim::run()
         }
         if (metrics_ && metrics_->due(t1))
             sampleMetrics(t1);
+        if (health_ && measuring_)
+            healthEpoch(t, t1);
         t = t1;
     }
 
@@ -637,6 +671,15 @@ FleetSim::run()
     if (tracer_)
         for (auto &s : servers_)
             s->traceFlush();
+
+    if (health_) {
+        // Resolve still-active alerts and audit the final quiescent
+        // state (the drain may leave flights in the map; conservation
+        // must account for them exactly).
+        health_->slo().finish(t);
+        if (health_->auditEnabled())
+            health_->auditor().audit(buildAuditSnapshot(t));
+    }
 
     return aggregate();
 }
@@ -688,6 +731,100 @@ FleetSim::sampleMetrics(sim::Tick t)
         metrics_->set(series_.rackBudgetW, allocator_->rackBudgetW(t));
 }
 
+void
+FleetSim::healthEpoch(sim::Tick t0, sim::Tick t1)
+{
+    obs::SloMonitor &slo = health_->slo();
+    if (cfg_.cap.enabled || cfg_.budget.enabled) {
+        // Cumulative settled-sample counters; the monitor takes the
+        // per-epoch delta for the power SLI.
+        std::uint64_t cs = 0, cv = 0;
+        for (auto &s : servers_)
+            if (cap::PowerCapController *c = s->capController()) {
+                cs += c->samples();
+                cv += c->violations();
+            }
+        slo.setCapCounters(cs, cv);
+    }
+    slo.onEpoch(t0, t1);
+    if (health_->auditEnabled() && health_->auditor().due(t1))
+        health_->auditor().audit(buildAuditSnapshot(t1));
+}
+
+obs::AuditSnapshot
+FleetSim::buildAuditSnapshot(sim::Tick now)
+{
+    obs::AuditSnapshot snap;
+    snap.now = now;
+    snap.flightsCreated = nextId_;
+    snap.flightsFinished = flightsFinished_;
+    snap.flightsInFlight = inFlight_.size();
+    snap.dispatched = dispatched_;
+    snap.completed = completed_;
+    snap.lost = lostRequests_;
+    for (const auto &kv : inFlight_)
+        if (kv.second.measured)
+            ++snap.measuredInFlight;
+
+    snap.servers.reserve(servers_.size());
+    for (const auto &s : servers_)
+        snap.servers.push_back({s->accepted(), s->completed()});
+
+    if (fabric_) {
+        const auto add = [&snap](const net::DropTailLink &l) {
+            snap.links.push_back(
+                {l.offered(), l.delivered(), l.dropped()});
+        };
+        add(fabric_->coreIngress());
+        add(fabric_->coreEgress());
+        for (std::size_t i = 0; i < servers_.size(); ++i) {
+            add(fabric_->downlink(i));
+            add(fabric_->uplink(i));
+        }
+    }
+
+    snap.energy.reserve(servers_.size() * 2);
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+        auto &soc = servers_[i]->soc();
+        const auto &meter = soc.meter();
+        for (const power::Plane pl :
+             {power::Plane::Package, power::Plane::Dram}) {
+            obs::AuditEnergy e;
+            e.server = static_cast<int>(i);
+            e.plane = static_cast<int>(pl);
+            e.energyJ = meter.planeEnergy(pl);
+            double sum = 0.0;
+            for (const power::PowerLoad *ld : meter.loads())
+                if (ld->plane() == pl)
+                    sum += ld->energyJoules();
+            e.loadSumJ = sum;
+            e.counter = soc.rapl().readCounter(pl).counter;
+            e.unitJ = soc.rapl().energyUnit();
+            snap.energy.push_back(e);
+        }
+    }
+
+    if (allocator_) {
+        snap.budgetEnabled = true;
+        snap.floorW = cfg_.budget.minServerW;
+        snap.deadbandW = cfg_.budgetDeadbandW;
+        snap.numServers = servers_.size();
+        snap.anyEmergencyEver = allocator_->emergencyEpochs() > 0;
+        const auto &log = allocator_->log();
+        for (std::size_t i = auditLogPos_; i < log.size(); ++i)
+            snap.newEpochs.push_back({log[i].at, log[i].budgetW,
+                                      log[i].allocatedW,
+                                      log[i].emergency});
+        auditLogPos_ = log.size();
+        if (!log.empty())
+            snap.lastBudgetW = log.back().budgetW;
+        snap.serverLimitW.reserve(servers_.size());
+        for (const auto &s : servers_)
+            snap.serverLimitW.push_back(s->powerLimitW());
+    }
+    return snap;
+}
+
 bool
 FleetSim::writeTrace(const std::string &path) const
 {
@@ -715,6 +852,18 @@ bool
 FleetSim::writeMetricsCsv(const std::string &path) const
 {
     return metrics_ && metrics_->writeCsv(path);
+}
+
+bool
+FleetSim::writeAlertsCsv(const std::string &path) const
+{
+    return health_ && health_->report().writeAlertsCsv(path);
+}
+
+bool
+FleetSim::writeAlertsJson(const std::string &path) const
+{
+    return health_ && health_->report().writeAlertsJson(path);
 }
 
 void
@@ -839,6 +988,8 @@ FleetSim::aggregate()
     if (attr_)
         rep.attribution = obs::LatencyAttribution::build(
             obs::buildAttribution(*tracer_), cfg_.attribution.sampleLimit);
+    if (health_)
+        rep.health = health_->report();
     return rep;
 }
 

@@ -49,6 +49,7 @@
 #include "fleet/traffic.h"
 #include "net/fabric.h"
 #include "obs/critpath.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/tracer.h"
@@ -148,6 +149,18 @@ struct FleetConfig
      * are byte-identical with attribution on or off.
      */
     obs::AttributionConfig attribution;
+
+    /**
+     * Online fleet health (obs/health.h): SLO burn-rate alerting over
+     * rolling sim-time windows plus the epoch-boundary invariant
+     * auditor. Same zero-footprint contract as `trace`/`metrics`:
+     * the monitor only reads simulation state from single-threaded
+     * engine sections, so reports are byte-identical with health on
+     * or off and the alert log is invariant across thread counts.
+     * `APC_AUDIT_FAILFAST=1` in the environment forces the auditor on
+     * in failFast mode (audit-as-sanitizer).
+     */
+    obs::HealthConfig health;
 
     /** Wall-clock profiling of the route/advance/merge pipeline
      *  (obs/profiler.h); negligible cost, on by default. */
@@ -281,6 +294,12 @@ struct FleetReport
      *  zero-footprint contract. */
     obs::LatencyAttribution attribution;
 
+    /** Fleet health summary: burn-rate alerts fired/resolved,
+     *  sim-time-in-violation, worst burn, audit counters and the alert
+     *  log (enabled flag false unless cfg.health.enabled). Outside
+     *  csvRow() for the same reason as `attribution`. */
+    obs::HealthReport health;
+
     double
     pc1aResidency() const
     {
@@ -317,9 +336,15 @@ class FleetSim
     obs::Tracer *tracer() { return tracer_.get(); }
     const obs::Tracer *tracer() const { return tracer_.get(); }
 
-    /** The metrics sampler; null unless cfg.metrics.enabled. */
+    /** The metrics sampler; null unless cfg.metrics.enabled (or its
+     *  interval was rejected at setup). */
     obs::MetricsSampler *metrics() { return metrics_.get(); }
     const obs::MetricsSampler *metrics() const { return metrics_.get(); }
+
+    /** The health monitor; null unless cfg.health.enabled (or forced
+     *  via APC_AUDIT_FAILFAST). */
+    obs::HealthMonitor *health() { return health_.get(); }
+    const obs::HealthMonitor *health() const { return health_.get(); }
 
     /** Engine wall-clock profile of the last run(). */
     const obs::PhaseProfiler &profiler() const { return profiler_; }
@@ -332,6 +357,11 @@ class FleetSim
     /** Export the sampled metrics series. @return false when metrics
      *  are off or on IO failure. */
     bool writeMetricsCsv(const std::string &path) const;
+
+    /** Export the health alert log. @return false when health is off
+     *  or on IO failure. */
+    bool writeAlertsCsv(const std::string &path) const;
+    bool writeAlertsJson(const std::string &path) const;
 
   private:
     struct Flight
@@ -391,6 +421,11 @@ class FleetSim
     /** Record one metrics row at epoch boundary @p t (single-threaded,
      *  servers quiescent). */
     void sampleMetrics(sim::Tick t);
+    /** Feed the health monitor at the quiescent boundary closing the
+     *  epoch [t0, t1): SLO window roll + due invariant audits. */
+    void healthEpoch(sim::Tick t0, sim::Tick t1);
+    /** Gather the auditor's view of the fleet at quiescent @p now. */
+    obs::AuditSnapshot buildAuditSnapshot(sim::Tick now);
 
     FleetConfig cfg_;
     ShardLayout layout_;
@@ -422,6 +457,9 @@ class FleetSim
 
     FlightMap inFlight_;
     std::uint64_t nextId_ = 0;
+    /** Flights fully resolved (finishFlight calls); with nextId_ and
+     *  inFlight_.size() this is the flight-conservation identity. */
+    std::uint64_t flightsFinished_ = 0;
 
     sim::Tick measureStart_ = 0;
     bool measuring_ = false;
@@ -444,6 +482,10 @@ class FleetSim
     /** Writer 0: fleet-spine events (request spans, budget counters). */
     obs::TraceWriter *fleetTrace_ = nullptr;
     std::unique_ptr<obs::MetricsSampler> metrics_;
+    /** SLO burn-rate monitor + invariant auditor (obs/health.h). */
+    std::unique_ptr<obs::HealthMonitor> health_;
+    /** Budget-allocator log records already audited. */
+    std::size_t auditLogPos_ = 0;
     obs::PhaseProfiler profiler_;
     /** Per-server RAPL counters latched at the previous sample. */
     std::vector<power::RaplSample> metricsPrev_;

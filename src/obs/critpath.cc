@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "obs/fmt.h"
+#include "stats/rank.h"
 
 namespace apc::obs {
 
@@ -20,9 +21,9 @@ BlameBand::dominant() const
 const char *
 LatencyAttribution::bandLabel(std::size_t band)
 {
-    constexpr const char *labels[kNumBands] = {"p50", "p95", "p99",
-                                               "p999", "p100"};
-    return labels[band];
+    static_assert(kNumBands == stats::kNumPercentileBands,
+                  "blame bands mirror the shared percentile bands");
+    return stats::percentileBandLabel(band);
 }
 
 LatencyAttribution
@@ -50,11 +51,7 @@ LatencyAttribution::build(const AttributionResult &res,
                      [&res](std::uint32_t a, std::uint32_t b) {
                          return res.requests[a].e2e < res.requests[b].e2e;
                      });
-    const auto cut = [n](std::uint64_t num, std::uint64_t den) {
-        return static_cast<std::size_t>((n * num + den - 1) / den);
-    };
-    const std::size_t edges[kNumBands + 1] = {
-        0, cut(1, 2), cut(19, 20), cut(99, 100), cut(999, 1000), n};
+    const auto edges = stats::percentileBandEdges(n);
 
     for (std::size_t b = 0; b < kNumBands; ++b) {
         BlameBand &band = out.bands[b];

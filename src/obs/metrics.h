@@ -47,7 +47,14 @@ using SeriesId = std::uint32_t;
 class MetricsSampler
 {
   public:
-    explicit MetricsSampler(MetricsConfig cfg) : cfg_(cfg) {}
+    explicit MetricsSampler(MetricsConfig cfg) : cfg_(cfg)
+    {
+        // A non-positive interval would re-sample every epoch forever
+        // (due() is `now >= next_`); the fleet rejects it at setup, and
+        // the sampler itself clamps defensively for standalone users.
+        if (cfg_.interval <= 0)
+            cfg_.interval = 1;
+    }
 
     /** Register a series (setup-time). @p entity tags per-server series
      *  with the server index; -1 marks a fleet-level series. */
@@ -67,11 +74,14 @@ class MetricsSampler
      *  set() overwrites. Advances the next-due time. */
     void beginSample(sim::Tick now);
 
-    /** Assign @p v to series @p id in the current (last begun) row. */
+    /** Assign @p v to series @p id in the current (last begun) row.
+     *  A set() before any beginSample() has no row to land in and is
+     *  dropped (it would otherwise write through an empty vector). */
     void
     set(SeriesId id, double v)
     {
-        values_[id].back() = v;
+        if (!values_[id].empty())
+            values_[id].back() = v;
     }
 
     std::size_t numSeries() const { return names_.size(); }

@@ -1,0 +1,250 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "stats/rank.h"
+
+namespace apc::obs {
+
+const char *
+sliName(Sli s)
+{
+    constexpr const char *names[kNumSlis] = {"latency", "availability",
+                                             "power"};
+    return names[static_cast<std::size_t>(s)];
+}
+
+namespace {
+
+Name
+alertTraceName(std::size_t sli)
+{
+    return static_cast<Name>(
+        static_cast<std::uint32_t>(Name::AlertLatency) + sli);
+}
+
+Name
+burnTraceName(std::size_t sli)
+{
+    return static_cast<Name>(
+        static_cast<std::uint32_t>(Name::BurnLatency) + sli);
+}
+
+} // namespace
+
+SloMonitor::SloMonitor(SloConfig cfg, double default_latency_slo_us)
+    : cfg_(cfg)
+{
+    if (cfg_.latencyThresholdUs <= 0.0)
+        cfg_.latencyThresholdUs = default_latency_slo_us;
+    policies_[0] = cfg_.fast;
+    policies_[1] = cfg_.slow;
+    for (BurnPolicy &p : policies_) {
+        // A window shorter than one epoch would evaluate over zero
+        // sealed buckets; clamp to something evaluable.
+        p.longWindow = std::max<sim::Tick>(p.longWindow, 1);
+        p.shortWindow =
+            std::min(std::max<sim::Tick>(p.shortWindow, 1), p.longWindow);
+    }
+}
+
+void
+SloMonitor::recordLatency(double us)
+{
+    const std::size_t lat = static_cast<std::size_t>(Sli::Latency);
+    const std::size_t avail = static_cast<std::size_t>(Sli::Availability);
+    if (us <= cfg_.latencyThresholdUs)
+        ++cur_.good[lat];
+    else
+        ++cur_.bad[lat];
+    ++cur_.good[avail];
+    if (cur_.latency.size() < cfg_.maxSamplesPerEpoch)
+        cur_.latency.push_back(us);
+    else
+        ++latDropped_;
+}
+
+void
+SloMonitor::recordLost()
+{
+    ++cur_.bad[static_cast<std::size_t>(Sli::Availability)];
+}
+
+void
+SloMonitor::setCapCounters(std::uint64_t samples,
+                           std::uint64_t violations)
+{
+    capSamplesNow_ = samples;
+    capViolationsNow_ = violations;
+}
+
+double
+SloMonitor::errorBudget(std::size_t sli) const
+{
+    double objective = 0.0;
+    switch (static_cast<Sli>(sli)) {
+    case Sli::Latency:
+        objective = cfg_.latencyObjective;
+        break;
+    case Sli::Availability:
+        objective = cfg_.availabilityObjective;
+        break;
+    case Sli::Power:
+        objective = cfg_.powerObjective;
+        break;
+    }
+    return std::max(1.0 - objective, 1e-12);
+}
+
+double
+SloMonitor::burnRate(std::size_t sli, sim::Tick t1,
+                     sim::Tick window) const
+{
+    const sim::Tick from = t1 - window;
+    std::uint64_t good = 0, bad = 0;
+    // Newest buckets sit at the back; stop at the first bucket fully
+    // outside the window. A bucket belongs to every window its end
+    // falls in (windows are tens of epochs, so the partial-overlap
+    // error of the oldest bucket is one epoch's worth at most).
+    for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+        if (it->t1 <= from)
+            break;
+        good += it->good[sli];
+        bad += it->bad[sli];
+    }
+    const std::uint64_t total = good + bad;
+    if (total == 0)
+        return 0.0;
+    const double bad_frac =
+        static_cast<double>(bad) / static_cast<double>(total);
+    return bad_frac / errorBudget(sli);
+}
+
+double
+SloMonitor::windowP99(sim::Tick t1)
+{
+    const sim::Tick from = t1 - policies_[0].longWindow;
+    p99Scratch_.clear();
+    for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+        if (it->t1 <= from)
+            break;
+        p99Scratch_.insert(p99Scratch_.end(), it->latency.begin(),
+                           it->latency.end());
+    }
+    if (p99Scratch_.empty())
+        return 0.0;
+    std::sort(p99Scratch_.begin(), p99Scratch_.end());
+    return stats::quantileSorted(p99Scratch_, 99, 100);
+}
+
+void
+SloMonitor::onEpoch(sim::Tick t0, sim::Tick t1)
+{
+    // Power SLI: the epoch's settled-sample delta across the fleet.
+    const std::size_t pw = static_cast<std::size_t>(Sli::Power);
+    const std::uint64_t ds = capSamplesNow_ - capSamplesPrev_;
+    const std::uint64_t dv = capViolationsNow_ - capViolationsPrev_;
+    capSamplesPrev_ = capSamplesNow_;
+    capViolationsPrev_ = capViolationsNow_;
+    cur_.good[pw] += ds - dv;
+    cur_.bad[pw] += dv;
+
+    cur_.t0 = t0;
+    cur_.t1 = t1;
+    window_.push_back(std::move(cur_));
+    cur_ = Bucket{};
+
+    // Evict buckets no window can see anymore.
+    const sim::Tick horizon =
+        t1 - std::max(policies_[0].longWindow, policies_[1].longWindow);
+    while (!window_.empty() && window_.front().t1 <= horizon)
+        window_.pop_front();
+
+    const double p99 = windowP99(t1);
+    worstP99Us_ = std::max(worstP99Us_, p99);
+
+    for (std::size_t s = 0; s < kNumSlis; ++s) {
+        for (std::size_t p = 0; p < kNumBurnPolicies; ++p) {
+            const BurnPolicy &pol = policies_[p];
+            const double burn_long = burnRate(s, t1, pol.longWindow);
+            const double burn_short = burnRate(s, t1, pol.shortWindow);
+            const double sustained = std::min(burn_long, burn_short);
+            if (sustained > worstBurn_) {
+                worstBurn_ = sustained;
+                worstSli_ = static_cast<Sli>(s);
+            }
+            AlertState &st = states_[s][p];
+            if (st.active)
+                st.worstWhileActive =
+                    std::max(st.worstWhileActive, sustained);
+            const bool over = burn_long >= pol.threshold &&
+                burn_short >= pol.threshold;
+            if (over == st.active)
+                continue;
+            AlertEvent ev;
+            ev.at = t1;
+            ev.sli = static_cast<Sli>(s);
+            ev.policy = static_cast<std::uint8_t>(p);
+            ev.fire = over;
+            ev.burnLong = burn_long;
+            ev.burnShort = burn_short;
+            ev.windowP99Us = p99;
+            alerts_.push_back(ev);
+            if (over) {
+                ++fired_;
+                st.active = true;
+                st.firedAt = t1;
+                st.worstWhileActive = sustained;
+            } else {
+                ++resolved_;
+                st.active = false;
+                if (trace_)
+                    trace_->span(st.firedAt, t1 - st.firedAt,
+                                 alertTraceName(s), Track::Health, p,
+                                 st.worstWhileActive);
+            }
+        }
+        if (trace_)
+            trace_->counter(t1, burnTraceName(s), Track::Health,
+                            burnRate(s, t1, policies_[0].longWindow));
+    }
+    if (anyActive())
+        inViolation_ += t1 - t0;
+}
+
+bool
+SloMonitor::anyActive() const
+{
+    for (const auto &per_sli : states_)
+        for (const AlertState &st : per_sli)
+            if (st.active)
+                return true;
+    return false;
+}
+
+void
+SloMonitor::finish(sim::Tick end)
+{
+    for (std::size_t s = 0; s < kNumSlis; ++s) {
+        for (std::size_t p = 0; p < kNumBurnPolicies; ++p) {
+            AlertState &st = states_[s][p];
+            if (!st.active)
+                continue;
+            AlertEvent ev;
+            ev.at = end;
+            ev.sli = static_cast<Sli>(s);
+            ev.policy = static_cast<std::uint8_t>(p);
+            ev.fire = false;
+            ev.burnLong = ev.burnShort = st.worstWhileActive;
+            alerts_.push_back(ev);
+            ++resolved_;
+            st.active = false;
+            if (trace_ && end > st.firedAt)
+                trace_->span(st.firedAt, end - st.firedAt,
+                             alertTraceName(s), Track::Health, p,
+                             st.worstWhileActive);
+        }
+    }
+}
+
+} // namespace apc::obs

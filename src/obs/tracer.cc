@@ -12,8 +12,8 @@ const char *
 trackName(Track t)
 {
     constexpr const char *names[kNumTracks] = {
-        "requests", "power",  "cap",     "nic",
-        "budget",   "engine", "segments"};
+        "requests", "power",  "cap",      "nic",
+        "budget",   "engine", "segments", "health"};
     return names[static_cast<std::size_t>(t)];
 }
 
@@ -33,6 +33,9 @@ nameString(Name n)
         "seg_nic_ring",  "seg_irq_hold",  "seg_wake",
         "seg_queue",     "seg_stall_gate", "seg_serve",
         "seg_stall_dvfs", "seg_xmit_resp", "rack_unmet_w",
+        "alert_latency", "alert_availability", "alert_power",
+        "burn_latency",  "burn_availability",  "burn_power",
+        "audit_violation",
     };
     return names[static_cast<std::size_t>(n)];
 }

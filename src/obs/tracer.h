@@ -55,9 +55,10 @@ enum class Track : std::uint8_t
     Budget,       ///< rack budget-allocator decisions
     Engine,       ///< wall-clock pipeline-phase spans (profiler)
     Segments,     ///< latency-attribution segment spans
+    Health,       ///< SLO burn-rate alerts and invariant-audit events
 };
 
-inline constexpr std::size_t kNumTracks = 7;
+inline constexpr std::size_t kNumTracks = 8;
 
 /** Display name for a track. */
 const char *trackName(Track t);
@@ -115,6 +116,17 @@ enum class Name : std::uint32_t
     SegXmitResp,  ///< response TX + server -> client transit (minus RTO)
     // Rack budget allocation (traced by cap/budget.cc).
     RackUnmetW, ///< counter: demand the waterfill left unsatisfied
+    // Fleet health (obs/health.h): SLO burn-rate alert lifecycles as
+    // spans (fired -> resolved, id = window-pair index, value = worst
+    // burn while active), per-SLI burn-rate counters, and invariant
+    // audit violations as instants (value = AuditCheck index).
+    AlertLatency,
+    AlertAvailability,
+    AlertPower,
+    BurnLatency,
+    BurnAvailability,
+    BurnPower,
+    AuditViolation,
 
     kCount
 };

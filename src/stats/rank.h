@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Exact-rank percentile machinery shared by the blame report
+ * (obs/critpath.cc) and the SLO windows (obs/slo.cc).
+ *
+ * Everything here works on *ranks*, not interpolated quantiles: the
+ * p-quantile of n samples is the smallest element with ceil(n*p)
+ * samples at or below it. Exact ranks keep the percentile cut
+ * deterministic (no floating-point quantile interpolation), so two
+ * runs that produced the same sample multiset always report the same
+ * percentile values and band memberships.
+ */
+
+#ifndef APC_STATS_RANK_H
+#define APC_STATS_RANK_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace apc::stats {
+
+/**
+ * Number of samples at or below the p = num/den quantile in a ranked
+ * population of @p n: ceil(n * num / den), computed in integers.
+ */
+constexpr std::size_t
+exactRankCount(std::size_t n, std::uint64_t num, std::uint64_t den)
+{
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(n) * num + den - 1) / den);
+}
+
+/**
+ * The report percentile bands: each ranked sample falls into exactly
+ * one of <=p50, p50-p95, p95-p99, p99-p999, >p999.
+ */
+inline constexpr std::size_t kNumPercentileBands = 5;
+
+/** Display label for band @p b ("p50" .. "p100"). */
+constexpr const char *
+percentileBandLabel(std::size_t b)
+{
+    constexpr const char *labels[kNumPercentileBands] = {
+        "p50", "p95", "p99", "p999", "p100"};
+    return labels[b];
+}
+
+/**
+ * Exact-rank band edges over @p n ranked samples: band b spans ranks
+ * [edges[b], edges[b+1]). Edges are cumulative counts, so the bands
+ * partition 0..n exactly.
+ */
+constexpr std::array<std::size_t, kNumPercentileBands + 1>
+percentileBandEdges(std::size_t n)
+{
+    return {0,
+            exactRankCount(n, 1, 2),
+            exactRankCount(n, 19, 20),
+            exactRankCount(n, 99, 100),
+            exactRankCount(n, 999, 1000),
+            n};
+}
+
+/**
+ * Exact-rank p = num/den quantile of an ascending-sorted sequence:
+ * the smallest element such that ceil(n * p) elements are <= it.
+ * The p0 edge case returns the minimum; empty input returns T{}.
+ */
+template <typename T>
+T
+quantileSorted(const std::vector<T> &sorted, std::uint64_t num,
+               std::uint64_t den)
+{
+    if (sorted.empty())
+        return T{};
+    std::size_t k = exactRankCount(sorted.size(), num, den);
+    if (k == 0)
+        k = 1;
+    return sorted[k - 1];
+}
+
+} // namespace apc::stats
+
+#endif // APC_STATS_RANK_H

@@ -280,6 +280,81 @@ TEST(MetricsSampler, SamplesOnIntervalAndSkipsUnset)
     EXPECT_FALSE(m.writeCsv("/nonexistent/dir/metrics.csv"));
 }
 
+TEST(MetricsSampler, NonPositiveIntervalClampsInsteadOfSpinning)
+{
+    obs::MetricsConfig mc;
+    mc.enabled = true;
+    mc.interval = 0; // would otherwise be due() at every epoch forever
+    obs::MetricsSampler m(mc);
+    EXPECT_EQ(m.config().interval, 1);
+    EXPECT_TRUE(m.due(0));
+    m.beginSample(0);
+    EXPECT_FALSE(m.due(0)); // time actually advances the schedule
+    EXPECT_TRUE(m.due(1));
+}
+
+TEST(MetricsSampler, SetBeforeFirstSampleIsDropped)
+{
+    obs::MetricsConfig mc;
+    mc.enabled = true;
+    obs::MetricsSampler m(mc);
+    const auto id = m.addSeries("fleet.pkg_power_w");
+    m.set(id, 42.0); // no row open yet: dropped, not UB
+    EXPECT_EQ(m.numSamples(), 0u);
+    m.beginSample(0);
+    ASSERT_EQ(m.series(id).size(), 1u);
+    EXPECT_TRUE(std::isnan(m.series(id)[0]));
+}
+
+TEST(MetricsSampler, PartialRowConsistentAcrossCsvAndJson)
+{
+    obs::MetricsConfig mc;
+    mc.enabled = true;
+    mc.interval = 1 * kMs;
+    obs::MetricsSampler m(mc);
+    const auto a = m.addSeries("fleet.a");
+    const auto b = m.addSeries("fleet.b");
+    m.beginSample(0);
+    m.set(a, 1.0);
+    m.set(b, 2.0);
+    m.beginSample(1 * kMs); // final row left partial
+    m.set(a, 3.0);
+
+    // Every series spans every row (the partial row is padded, never
+    // ragged), and both exports agree on which slots are unset: CSV
+    // rows (set values) + JSON nulls (unset) = series * samples.
+    ASSERT_EQ(m.numSamples(), 2u);
+    for (obs::SeriesId id : {a, b})
+        EXPECT_EQ(m.series(id).size(), m.numSamples());
+
+    char *buf = nullptr;
+    std::size_t len = 0;
+    std::FILE *f = open_memstream(&buf, &len);
+    ASSERT_TRUE(m.writeCsv(f));
+    std::fclose(f);
+    std::string csv(buf, len);
+    free(buf);
+    std::size_t csv_rows = 0;
+    for (char c : csv)
+        if (c == '\n')
+            ++csv_rows;
+    --csv_rows; // header
+
+    f = open_memstream(&buf, &len);
+    ASSERT_TRUE(m.writeJson(f));
+    std::fclose(f);
+    std::string json(buf, len);
+    free(buf);
+    std::size_t nulls = 0;
+    for (std::size_t pos = json.find("null"); pos != std::string::npos;
+         pos = json.find("null", pos + 4))
+        ++nulls;
+
+    EXPECT_EQ(csv_rows, 3u);
+    EXPECT_EQ(nulls, 1u);
+    EXPECT_EQ(csv_rows + nulls, m.numSeries() * m.numSamples());
+}
+
 // -------------------------------------------------------------- profiler
 
 TEST(PhaseProfiler, AccumulatesAndComputesImbalance)
@@ -416,6 +491,43 @@ TEST(ObsFleet, WriteTraceExportsFullVocabulary)
     EXPECT_NE(out.find("engine (wall clock)"), std::string::npos);
     EXPECT_NE(out.find("\"args\":{\"name\":\"server 0\"}"),
               std::string::npos);
+}
+
+TEST(ObsFleet, MetricsIntervalZeroRejectedAtSetup)
+{
+    auto fc = bigFleet(1, 0, true);
+    fc.numServers = 8;
+    fc.traffic.qps = fc.workload.qpsForUtilization(
+        0.10, static_cast<int>(fc.numServers) * 10);
+    fc.duration = 4 * kMs;
+    fc.warmup = 2 * kMs;
+    fc.metrics.interval = 0;
+    fleet::FleetSim fleet(fc);
+    // Rejected at setup: no sampler rather than one row per epoch.
+    EXPECT_EQ(fleet.metrics(), nullptr);
+    const auto rep = fleet.run();
+    EXPECT_GT(rep.completed, 0u);
+}
+
+TEST(ObsFleet, RunShorterThanOneIntervalStillSamples)
+{
+    auto fc = bigFleet(1, 0, true);
+    fc.numServers = 8;
+    fc.traffic.qps = fc.workload.qpsForUtilization(
+        0.10, static_cast<int>(fc.numServers) * 10);
+    fc.warmup = 2 * kMs;
+    fc.duration = 4 * kMs; // shorter than the sampling interval
+    fc.metrics.interval = 50 * kMs;
+    fleet::FleetSim fleet(fc);
+    (void)fleet.run();
+    ASSERT_NE(fleet.metrics(), nullptr);
+    const obs::MetricsSampler &m = *fleet.metrics();
+    // The first epoch boundary is always due: at least one row exists
+    // even when the run never reaches a full interval.
+    ASSERT_GE(m.numSamples(), 1u);
+    for (obs::SeriesId id = 0; id < m.numSeries(); ++id)
+        EXPECT_EQ(m.series(id).size(), m.numSamples()) << id;
+    EXPECT_FALSE(metricsCsv(fleet).empty());
 }
 
 } // namespace

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "stats/histogram.h"
+#include "stats/rank.h"
 #include "stats/residency.h"
 #include "stats/summary.h"
 
@@ -446,6 +447,60 @@ TEST(Residency, ZeroWindowIsZero)
 {
     ResidencyCounter<2> r(0, 100);
     EXPECT_DOUBLE_EQ(r.residency(0, 100), 0.0);
+}
+
+TEST(Rank, ExactRankCountMatchesCeiling)
+{
+    EXPECT_EQ(exactRankCount(100, 1, 2), 50u);
+    EXPECT_EQ(exactRankCount(100, 19, 20), 95u);
+    EXPECT_EQ(exactRankCount(100, 99, 100), 99u);
+    // ceil(100 * 0.999) = 100: p999 of 100 samples is the maximum.
+    EXPECT_EQ(exactRankCount(100, 999, 1000), 100u);
+    EXPECT_EQ(exactRankCount(10000, 999, 1000), 9990u);
+    // Any nonzero quantile of one sample is that sample.
+    EXPECT_EQ(exactRankCount(1, 1, 2), 1u);
+    EXPECT_EQ(exactRankCount(0, 1, 2), 0u);
+}
+
+TEST(Rank, BandEdgesPartitionEveryPopulation)
+{
+    for (std::size_t n : {0u, 1u, 2u, 99u, 100u, 1000u, 12345u}) {
+        const auto edges = percentileBandEdges(n);
+        EXPECT_EQ(edges.front(), 0u) << n;
+        EXPECT_EQ(edges.back(), n) << n;
+        for (std::size_t b = 0; b + 1 < edges.size(); ++b)
+            EXPECT_LE(edges[b], edges[b + 1]) << n << " band " << b;
+    }
+    const auto e = percentileBandEdges(100000);
+    EXPECT_EQ(e[1], 50000u);
+    EXPECT_EQ(e[2], 95000u);
+    EXPECT_EQ(e[3], 99000u);
+    EXPECT_EQ(e[4], 99900u);
+}
+
+TEST(Rank, BandLabelsAreStable)
+{
+    ASSERT_EQ(kNumPercentileBands, 5u);
+    EXPECT_STREQ(percentileBandLabel(0), "p50");
+    EXPECT_STREQ(percentileBandLabel(1), "p95");
+    EXPECT_STREQ(percentileBandLabel(2), "p99");
+    EXPECT_STREQ(percentileBandLabel(3), "p999");
+    EXPECT_STREQ(percentileBandLabel(4), "p100");
+}
+
+TEST(Rank, QuantileSortedPicksExactRanks)
+{
+    std::vector<int> v(1000);
+    for (int i = 0; i < 1000; ++i)
+        v[static_cast<std::size_t>(i)] = i + 1; // 1..1000, sorted
+    EXPECT_EQ(quantileSorted(v, 1, 2), 500);
+    EXPECT_EQ(quantileSorted(v, 99, 100), 990);
+    EXPECT_EQ(quantileSorted(v, 999, 1000), 999);
+    EXPECT_EQ(quantileSorted(v, 1, 1), 1000); // p100 = max
+    EXPECT_EQ(quantileSorted(v, 0, 1), 1);    // p0 clamps to min
+    EXPECT_EQ(quantileSorted(std::vector<int>{}, 1, 2), 0);
+    EXPECT_DOUBLE_EQ(quantileSorted(std::vector<double>{7.5}, 99, 100),
+                     7.5);
 }
 
 } // namespace
