@@ -43,6 +43,9 @@ BudgetAllocator::allocate(sim::Tick now,
                           const std::vector<double> &demand_w)
 {
     assert(demand_w.size() == n_);
+    // Claim the epoch-log capability for the whole allocation: the
+    // fleet spine calls allocate() single-threaded between phases.
+    sim::RoleGuard own(epochLog_);
     const double budget = rackBudgetW(now);
 
     EpochRecord rec;
@@ -144,6 +147,7 @@ BudgetAllocator::allocate(sim::Tick now,
 double
 BudgetAllocator::budgetUtilization(sim::Tick from) const
 {
+    sim::SharedRoleGuard own(epochLog_);
     double acc = 0.0;
     std::uint64_t n = 0;
     for (const EpochRecord &r : log_) {

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/annotations.h"
 #include "sim/time.h"
 
 namespace apc::obs {
@@ -107,12 +108,27 @@ class BudgetAllocator
     std::vector<double> allocate(sim::Tick now,
                                  const std::vector<double> &demand_w);
 
-    const std::vector<EpochRecord> &log() const { return log_; }
+    const std::vector<EpochRecord> &
+    log() const
+    {
+        sim::SharedRoleGuard own(epochLog_);
+        return log_;
+    }
 
-    std::uint64_t epochs() const { return log_.size(); }
+    std::uint64_t
+    epochs() const
+    {
+        sim::SharedRoleGuard own(epochLog_);
+        return log_.size();
+    }
 
     /** Epochs where even the floors exceeded the rack budget. */
-    std::uint64_t emergencyEpochs() const { return emergencyEpochs_; }
+    std::uint64_t
+    emergencyEpochs() const
+    {
+        sim::SharedRoleGuard own(epochLog_);
+        return emergencyEpochs_;
+    }
 
     /**
      * Mean demand/budget ratio over logged epochs at or after @p from:
@@ -132,8 +148,15 @@ class BudgetAllocator
     BudgetConfig cfg_;
     std::size_t n_;
     double nominalBudgetW_;
-    std::vector<EpochRecord> log_;
-    std::uint64_t emergencyEpochs_ = 0;
+    /**
+     * Epoch-log ownership capability: allocate() runs on the
+     * single-threaded fleet spine between parallel phases, so the log
+     * has one writer and post-run readers. Guards are runtime no-ops;
+     * the discipline is checked by the TSan CI job.
+     */
+    mutable sim::Role epochLog_;
+    std::vector<EpochRecord> log_ APC_GUARDED_BY(epochLog_);
+    std::uint64_t emergencyEpochs_ APC_GUARDED_BY(epochLog_) = 0;
     obs::TraceWriter *trace_ = nullptr;
 };
 

@@ -109,13 +109,17 @@ FleetSim::FleetSim(FleetConfig cfg)
             std::make_unique<server::ServerSim>(std::move(sc)));
         ShardSlot *slot = &slots_[layout_.shardOf(i)];
         const auto srv = static_cast<std::uint32_t>(i);
+        // The hooks fire inside advanceTo(), i.e. on the worker that
+        // owns this slot for the phase — claim the writer role.
         servers_[i]->onCompletion(
             [slot, srv](std::uint64_t id, sim::Tick done) {
+                sim::RoleGuard own(slot->writer);
                 slot->completions.push_back({done, srv, id});
             });
         if (cfg_.nic.enabled)
             servers_[i]->onRxDrop(
                 [slot, srv](std::uint64_t id, sim::Tick at) {
+                    sim::RoleGuard own(slot->writer);
                     slot->drops.push_back({at, srv, id});
                 });
     }
@@ -291,8 +295,13 @@ FleetSim::routeReplica(sim::Tick at, sim::Tick service, std::size_t srv,
                               static_cast<double>(srv));
         }
     }
-    slots_[layout_.shardOf(srv)].injects.push_back(
-        {deliver, service, static_cast<std::uint32_t>(srv), id});
+    {
+        // Route stage runs single-threaded before the parallel phase.
+        ShardSlot &slot = slots_[layout_.shardOf(srv)];
+        sim::RoleGuard own(slot.writer);
+        slot.injects.push_back(
+            {deliver, service, static_cast<std::uint32_t>(srv), id});
+    }
     return true;
 }
 
@@ -382,6 +391,8 @@ FleetSim::advanceShards(sim::Tick to)
                     ? obs::PhaseProfiler::Clock::now()
                     : obs::PhaseProfiler::Clock::time_point{};
                 ShardSlot &slot = slots_[sh];
+                // This worker owns the shard for the whole phase.
+                sim::RoleGuard own(slot.writer);
                 // Scheduling the staged injections here — instead of
                 // at route time — pulls each server's event queue into
                 // cache exactly once per epoch, right before this same
@@ -427,9 +438,13 @@ FleetSim::mergeStaged(std::vector<StagedEvent> ShardSlot::*stream,
 
     std::vector<MergeCursor> &heap = mergeScratch_;
     heap.clear();
-    for (ShardSlot &slot : slots_)
+    for (ShardSlot &slot : slots_) {
+        // Single-threaded merge: the workers have quiesced, so the
+        // drain claims each slot's writer role in turn.
+        sim::RoleGuard own(slot.writer);
         if (!(slot.*stream).empty())
             heap.push_back({&(slot.*stream), 0});
+    }
     if (heap.empty())
         return;
 
@@ -699,6 +714,8 @@ FleetSim::sampleMetrics(sim::Tick t)
         const double w =
             s.soc().rapl().averagePower(metricsPrev_[i], cur);
         metricsPrev_[i] = cur;
+        // lint:allow(float-accum) fixed server-index order on the
+        // single-threaded spine; layout-invariant by construction
         fleet_w += w;
         outstanding += s.outstanding();
         if (per_server) {
@@ -762,6 +779,8 @@ FleetSim::buildAuditSnapshot(sim::Tick now)
     snap.dispatched = dispatched_;
     snap.completed = completed_;
     snap.lost = lostRequests_;
+    // lint:allow(unordered-iteration) commutative integer count; the
+    // result is independent of visit order
     for (const auto &kv : inFlight_)
         if (kv.second.measured)
             ++snap.measuredInFlight;
@@ -796,6 +815,8 @@ FleetSim::buildAuditSnapshot(sim::Tick now)
             double sum = 0.0;
             for (const power::PowerLoad *ld : meter.loads())
                 if (ld->plane() == pl)
+                    // lint:allow(float-accum) loads() is the fixed
+                    // registration-order vector; spine-only reader
                     sum += ld->energyJoules();
             e.loadSumJ = sum;
             e.counter = soc.rapl().readCounter(pl).counter;

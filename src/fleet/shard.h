@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/annotations.h"
 #include "sim/time.h"
 
 namespace apc::fleet {
@@ -110,12 +111,22 @@ struct PendingInject
  * Cache-line aligned so adjacent shards' slots never share a line
  * (the old per-server vector-of-vectors put buffers mutated by
  * different workers on the same line).
+ *
+ * The "one writer per phase" rule is modeled as a capability: the
+ * staging vectors are APC_GUARDED_BY(writer), so every access site —
+ * router, shard worker, server hooks, merge drain — must state its
+ * claim with a sim::RoleGuard (a no-op at runtime). Code that touches
+ * a slot without claiming the writer role fails the clang
+ * -Wthread-safety build; that the claims never overlap across threads
+ * is verified by the TSan CI job.
  */
 struct alignas(64) ShardSlot
 {
-    std::vector<PendingInject> injects;
-    std::vector<StagedEvent> completions;
-    std::vector<StagedEvent> drops;
+    /** Phase-scoped single-writer capability for the staging vectors. */
+    sim::Role writer;
+    std::vector<PendingInject> injects APC_GUARDED_BY(writer);
+    std::vector<StagedEvent> completions APC_GUARDED_BY(writer);
+    std::vector<StagedEvent> drops APC_GUARDED_BY(writer);
 };
 
 } // namespace apc::fleet

@@ -28,13 +28,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "sim/annotations.h"
 
 namespace apc::fleet {
 
@@ -56,7 +56,7 @@ class ThreadPool
         if (workers_.empty())
             return;
         {
-            std::lock_guard<std::mutex> lk(m_);
+            sim::MutexLock lk(m_);
             stop_ = true;
         }
         cv_.notify_all();
@@ -160,16 +160,15 @@ class ThreadPool
         batch->numChunks = chunks;
         batch->remaining.store(chunks, std::memory_order_relaxed);
         {
-            std::lock_guard<std::mutex> lk(m_);
+            sim::MutexLock lk(m_);
             current_ = batch;
             ++generation_;
         }
         cv_.notify_all();
         runBatch(*batch);
-        std::unique_lock<std::mutex> lk(m_);
-        doneCv_.wait(lk, [&] {
-            return batch->remaining.load(std::memory_order_acquire) == 0;
-        });
+        sim::MutexLock lk(m_);
+        while (batch->remaining.load(std::memory_order_acquire) != 0)
+            doneCv_.wait(lk);
     }
 
     /** Claim whole chunks until the batch is exhausted. */
@@ -187,7 +186,7 @@ class ThreadPool
                 (*b.fn)(begin, end);
             if (b.remaining.fetch_sub(1, std::memory_order_acq_rel)
                     == 1) {
-                std::lock_guard<std::mutex> lk(m_);
+                sim::MutexLock lk(m_);
                 doneCv_.notify_all();
             }
         }
@@ -200,10 +199,12 @@ class ThreadPool
         for (;;) {
             std::shared_ptr<Batch> batch;
             {
-                std::unique_lock<std::mutex> lk(m_);
-                cv_.wait(lk, [&] {
-                    return stop_ || generation_ != seen;
-                });
+                // Open-coded wait loop (not the predicate overload) so
+                // the thread-safety analysis sees every guarded read
+                // happen while m_ is visibly held.
+                sim::MutexLock lk(m_);
+                while (!stop_ && generation_ == seen)
+                    cv_.wait(lk);
                 if (stop_)
                     return;
                 seen = generation_;
@@ -215,12 +216,14 @@ class ThreadPool
     }
 
     std::vector<std::thread> workers_;
-    std::mutex m_;
-    std::condition_variable cv_;
-    std::condition_variable doneCv_;
-    std::shared_ptr<Batch> current_;
-    std::uint64_t generation_ = 0;
-    bool stop_ = false;
+    sim::Mutex m_;
+    sim::CondVar cv_;
+    sim::CondVar doneCv_;
+    /** Latest published batch; workers snapshot it under m_. */
+    std::shared_ptr<Batch> current_ APC_GUARDED_BY(m_);
+    /** Bumped per publish; wakes workers whose `seen` lags. */
+    std::uint64_t generation_ APC_GUARDED_BY(m_) = 0;
+    bool stop_ APC_GUARDED_BY(m_) = false;
 };
 
 } // namespace apc::fleet

@@ -89,6 +89,8 @@ buildAttribution(const Tracer &tracer)
         return res;
 
     res.requests.reserve(byId.size());
+    // lint:allow(unordered-iteration) collection pass only; the result
+    // vector is sorted by stable request id below before any sink
     for (auto &[id, p] : byId) {
         if (lost.count(id)) {
             ++res.lostExcluded;

@@ -242,6 +242,8 @@ Auditor::audit(const AuditSnapshot &snap)
             ++checks_;
             double sum = 0.0;
             for (double w : snap.serverLimitW)
+                // lint:allow(float-accum) fixed server-index vector
+                // order; snapshot taken on the quiescent spine
                 sum += w;
             if (sum > snap.lastBudgetW + n * snap.deadbandW + kEpsW)
                 flag(snap, AuditCheck::Budget, -1,

@@ -103,6 +103,8 @@ LatencyAttribution::tailMeanUs(Segment s) const
     std::uint64_t count = 0;
     double acc = 0.0;
     for (std::size_t b = 3; b < kNumBands; ++b) {
+        // lint:allow(float-accum) fixed band-index order over a
+        // fixed-shape table; identical on every layout
         acc += bands[b].segMeanUs[si] *
             static_cast<double>(bands[b].count);
         count += bands[b].count;

@@ -19,6 +19,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/annotations.h"
+
 namespace apc::obs {
 
 /** Interned string id (index into the interner's table). */
@@ -28,7 +30,11 @@ using StrId = std::uint32_t;
 inline constexpr StrId kNoStr = UINT32_MAX;
 
 /** Registration-ordered string table. Not thread-safe: intern only
- *  from single-threaded setup/teardown code. */
+ *  from single-threaded setup/teardown code. That ownership is modeled
+ *  as a capability (`table_`) guarding the id map and string vector —
+ *  a no-op at runtime that keeps every table access visible to clang's
+ *  thread-safety analysis (the setup-time-only discipline itself is
+ *  checked by the TSan CI job). */
 class StringInterner
 {
   public:
@@ -47,6 +53,7 @@ class StringInterner
     StrId
     intern(std::string_view s)
     {
+        sim::RoleGuard own(table_);
         const auto it = ids_.find(std::string(s));
         if (it != ids_.end())
             return it->second;
@@ -64,26 +71,44 @@ class StringInterner
     StrId
     find(std::string_view s) const
     {
+        sim::SharedRoleGuard own(table_);
         const auto it = ids_.find(std::string(s));
         return it == ids_.end() ? kNoStr : it->second;
     }
 
     /** The string behind @p id (must be a valid id). */
-    const std::string &str(StrId id) const { return strings_[id]; }
+    const std::string &
+    str(StrId id) const
+    {
+        sim::SharedRoleGuard own(table_);
+        return strings_[id];
+    }
 
-    std::size_t size() const { return strings_.size(); }
+    std::size_t
+    size() const
+    {
+        sim::SharedRoleGuard own(table_);
+        return strings_.size();
+    }
 
     /** Capacity of a bounded table (SIZE_MAX = unbounded). */
     std::size_t capacity() const { return cap_; }
 
     /** First-sight interns rejected because the table was full. */
-    std::uint64_t rejected() const { return rejected_; }
+    std::uint64_t
+    rejected() const
+    {
+        sim::SharedRoleGuard own(table_);
+        return rejected_;
+    }
 
   private:
-    std::unordered_map<std::string, StrId> ids_;
-    std::vector<std::string> strings_;
+    /** Setup-time single-threaded ownership capability. */
+    mutable sim::Role table_;
+    std::unordered_map<std::string, StrId> ids_ APC_GUARDED_BY(table_);
+    std::vector<std::string> strings_ APC_GUARDED_BY(table_);
     std::size_t cap_ = SIZE_MAX;
-    std::uint64_t rejected_ = 0;
+    std::uint64_t rejected_ APC_GUARDED_BY(table_) = 0;
 };
 
 } // namespace apc::obs

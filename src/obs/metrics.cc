@@ -10,6 +10,7 @@ namespace apc::obs {
 void
 MetricsSampler::beginSample(sim::Tick now)
 {
+    sim::RoleGuard own(sampleRole_);
     times_.push_back(now);
     for (auto &v : values_)
         v.push_back(std::numeric_limits<double>::quiet_NaN());
@@ -19,6 +20,7 @@ MetricsSampler::beginSample(sim::Tick now)
 bool
 MetricsSampler::writeCsv(std::FILE *out) const
 {
+    sim::SharedRoleGuard own(sampleRole_);
     bool ok = true;
     const auto put = [out, &ok](const char *fmt, auto... args) {
         if (std::fprintf(out, fmt, args...) < 0)
@@ -55,6 +57,7 @@ MetricsSampler::writeCsv(const std::string &path) const
 bool
 MetricsSampler::writeJson(std::FILE *out) const
 {
+    sim::SharedRoleGuard own(sampleRole_);
     bool ok = true;
     const auto put = [out, &ok](const char *fmt, auto... args) {
         if (std::fprintf(out, fmt, args...) < 0)

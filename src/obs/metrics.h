@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/annotations.h"
 #include "sim/time.h"
 
 namespace apc::obs {
@@ -61,6 +62,7 @@ class MetricsSampler
     SeriesId
     addSeries(std::string name, int entity = -1)
     {
+        sim::RoleGuard own(sampleRole_);
         names_.push_back(std::move(name));
         entities_.push_back(entity);
         values_.emplace_back();
@@ -68,7 +70,12 @@ class MetricsSampler
     }
 
     /** True when the next sample instant has been reached. */
-    bool due(sim::Tick now) const { return now >= next_; }
+    bool
+    due(sim::Tick now) const
+    {
+        sim::SharedRoleGuard own(sampleRole_);
+        return now >= next_;
+    }
 
     /** Open a sample row at @p now: every series gets a NaN slot that
      *  set() overwrites. Advances the next-due time. */
@@ -80,17 +87,45 @@ class MetricsSampler
     void
     set(SeriesId id, double v)
     {
+        sim::RoleGuard own(sampleRole_);
         if (!values_[id].empty())
             values_[id].back() = v;
     }
 
-    std::size_t numSeries() const { return names_.size(); }
-    std::size_t numSamples() const { return times_.size(); }
-    const std::string &seriesName(SeriesId id) const { return names_[id]; }
-    int seriesEntity(SeriesId id) const { return entities_[id]; }
-    const std::vector<sim::Tick> &times() const { return times_; }
-    const std::vector<double> &series(SeriesId id) const
+    std::size_t
+    numSeries() const
     {
+        sim::SharedRoleGuard own(sampleRole_);
+        return names_.size();
+    }
+    std::size_t
+    numSamples() const
+    {
+        sim::SharedRoleGuard own(sampleRole_);
+        return times_.size();
+    }
+    const std::string &
+    seriesName(SeriesId id) const
+    {
+        sim::SharedRoleGuard own(sampleRole_);
+        return names_[id];
+    }
+    int
+    seriesEntity(SeriesId id) const
+    {
+        sim::SharedRoleGuard own(sampleRole_);
+        return entities_[id];
+    }
+    const std::vector<sim::Tick> &
+    times() const
+    {
+        sim::SharedRoleGuard own(sampleRole_);
+        return times_;
+    }
+    const std::vector<double> &
+    series(SeriesId id) const
+    {
+        sim::SharedRoleGuard own(sampleRole_);
         return values_[id];
     }
 
@@ -111,12 +146,19 @@ class MetricsSampler
     bool writeJson(const std::string &path) const;
 
   private:
+    /**
+     * Sampling-state capability: the sampler is driven from the
+     * quiescent epoch boundary on the single-threaded spine (one
+     * writer), with post-run readers. Guards are runtime no-ops; the
+     * discipline is checked by the TSan CI job.
+     */
+    mutable sim::Role sampleRole_;
     MetricsConfig cfg_;
-    sim::Tick next_ = 0;
-    std::vector<sim::Tick> times_;
-    std::vector<std::string> names_;
-    std::vector<int> entities_;
-    std::vector<std::vector<double>> values_;
+    sim::Tick next_ APC_GUARDED_BY(sampleRole_) = 0;
+    std::vector<sim::Tick> times_ APC_GUARDED_BY(sampleRole_);
+    std::vector<std::string> names_ APC_GUARDED_BY(sampleRole_);
+    std::vector<int> entities_ APC_GUARDED_BY(sampleRole_);
+    std::vector<std::vector<double>> values_ APC_GUARDED_BY(sampleRole_);
 };
 
 } // namespace apc::obs

@@ -18,7 +18,10 @@ PhaseProfiler::beginRun(std::size_t num_shards)
         totalSec_[i] = 0.0;
         count_[i] = 0;
     }
-    shardSec_.assign(num_shards, 0.0);
+    {
+        sim::RoleGuard own(shardTable_);
+        shardSec_.assign(num_shards, 0.0);
+    }
     spans_.clear();
     droppedSpans_ = 0;
 }
@@ -26,6 +29,7 @@ PhaseProfiler::beginRun(std::size_t num_shards)
 double
 PhaseProfiler::shardImbalance() const
 {
+    sim::SharedRoleGuard own(shardTable_);
     double max = 0.0, sum = 0.0;
     for (double s : shardSec_) {
         sum += s;

@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/annotations.h"
+
 namespace apc::obs {
 
 /** Wall-clock profiler for the fleet epoch pipeline. */
@@ -79,10 +81,13 @@ class PhaseProfiler
 
     Scope scope(Phase p) { return Scope(*this, p); }
 
-    /** Accumulate one shard's advance time (worker-side). */
+    /** Accumulate one shard's advance time (worker-side). The claim is
+     *  element-granular: each shard index has exactly one writer per
+     *  phase (the worker advancing that shard), mirroring ShardSlot. */
     void
     addShardTime(std::size_t shard, double sec)
     {
+        sim::RoleGuard own(shardTable_);
         shardSec_[shard] += sec;
     }
 
@@ -98,7 +103,12 @@ class PhaseProfiler
         return count_[static_cast<std::size_t>(p)];
     }
 
-    const std::vector<double> &shardTimesSec() const { return shardSec_; }
+    const std::vector<double> &
+    shardTimesSec() const
+    {
+        sim::SharedRoleGuard own(shardTable_);
+        return shardSec_;
+    }
 
     /**
      * Advance-phase imbalance: max over shards of accumulated advance
@@ -130,7 +140,11 @@ class PhaseProfiler
     Clock::time_point anchor_{};
     double totalSec_[kNumPhases] = {};
     std::uint64_t count_[kNumPhases] = {};
-    std::vector<double> shardSec_;
+    /** Element-granular single-writer capability for shardSec_ (one
+     *  worker per shard index during an advance phase; spine-only
+     *  reads between phases). Checked dynamically by the TSan job. */
+    mutable sim::Role shardTable_;
+    std::vector<double> shardSec_ APC_GUARDED_BY(shardTable_);
     std::vector<EngineSpan> spans_;
     std::uint64_t droppedSpans_ = 0;
 };

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "obs/interner.h"
+#include "sim/annotations.h"
 #include "sim/time.h"
 
 namespace apc::obs {
@@ -173,6 +174,14 @@ static_assert(sizeof(TraceRecord) <= 48, "trace record stays compact");
  * Single-writer bounded ring of trace records. The vector grows
  * amortized up to the capacity, then wraps over the oldest records
  * (SoCWatch-style: a bounded trace keeps the most recent window).
+ *
+ * Ring ownership is a capability (`ring_`): during a parallel advance
+ * phase exactly one worker — the one advancing the writer's entity —
+ * may record, and the deterministic merge reads only after the workers
+ * quiesced. The guards below are no-ops at runtime; they make every
+ * ring access inside this class visible to clang's thread-safety
+ * analysis, while the cross-thread single-writer discipline itself is
+ * checked dynamically by the TSan CI job.
  */
 class TraceWriter
 {
@@ -187,6 +196,7 @@ class TraceWriter
     record(TraceKind k, Track tr, sim::Tick ts, sim::Tick dur, StrId name,
            std::uint64_t id, double value)
     {
+        sim::RoleGuard own(ring_);
         TraceRecord r;
         r.ts = ts;
         r.dur = dur;
@@ -232,13 +242,28 @@ class TraceWriter
     std::uint32_t entity() const { return entity_; }
 
     /** Records ever appended (including since-overwritten ones). */
-    std::uint64_t recorded() const { return seq_; }
+    std::uint64_t
+    recorded() const
+    {
+        sim::SharedRoleGuard own(ring_);
+        return seq_;
+    }
 
     /** Records lost to ring wrap-around. */
-    std::uint64_t dropped() const { return seq_ - buf_.size(); }
+    std::uint64_t
+    dropped() const
+    {
+        sim::SharedRoleGuard own(ring_);
+        return seq_ - buf_.size();
+    }
 
     /** Live records. */
-    std::size_t size() const { return buf_.size(); }
+    std::size_t
+    size() const
+    {
+        sim::SharedRoleGuard own(ring_);
+        return buf_.size();
+    }
 
     /** Discard all records and counters; capacity and entity — and any
      *  name ids already interned by the owning Tracer — are unchanged,
@@ -246,6 +271,7 @@ class TraceWriter
     void
     reset()
     {
+        sim::RoleGuard own(ring_);
         buf_.clear();
         head_ = 0;
         wrapped_ = false;
@@ -257,6 +283,7 @@ class TraceWriter
     void
     forEach(F &&fn) const
     {
+        sim::SharedRoleGuard own(ring_);
         if (!wrapped_) {
             for (const TraceRecord &r : buf_)
                 fn(r);
@@ -269,12 +296,14 @@ class TraceWriter
     }
 
   private:
-    std::vector<TraceRecord> buf_;
+    /** Single-writer ring capability (see class comment). */
+    mutable sim::Role ring_;
+    std::vector<TraceRecord> buf_ APC_GUARDED_BY(ring_);
     std::uint32_t entity_;
     std::size_t cap_;
-    std::size_t head_ = 0;
-    bool wrapped_ = false;
-    std::uint32_t seq_ = 0;
+    std::size_t head_ APC_GUARDED_BY(ring_) = 0;
+    bool wrapped_ APC_GUARDED_BY(ring_) = false;
+    std::uint32_t seq_ APC_GUARDED_BY(ring_) = 0;
 };
 
 /**

@@ -6,9 +6,9 @@
 
 #ifndef NDEBUG
 #include <atomic>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
+
+#include "sim/annotations.h"
 #endif
 
 namespace apc::sim {
@@ -16,29 +16,36 @@ namespace apc::sim {
 #ifndef NDEBUG
 namespace {
 
-// Function-local statics dodge static-init-order issues. The registry
-// maps each live queue to its epoch — a process-unique id — so a probe
-// cannot pass falsely when a new queue is allocated at a destroyed
-// queue's address. A shared_mutex keeps the hot probe (every debug
-// cancel()/pending(), from every fleet worker thread) on the read path;
-// the write path runs only at queue construction/destruction.
-std::shared_mutex &
-liveQueuesMutex()
+// The registry maps each live queue to its epoch — a process-unique id
+// — so a probe cannot pass falsely when a new queue is allocated at a
+// destroyed queue's address. The shared mutex keeps the hot probe
+// (every debug cancel()/pending(), from every fleet worker thread) on
+// the read path; the write path runs only at queue construction and
+// destruction. The map never escapes this struct, so the GUARDED_BY
+// annotation covers every access statically.
+struct LiveQueueRegistry
 {
-    static std::shared_mutex m;
-    return m;
-}
+    SharedMutex m;
+    std::unordered_map<const EventQueue *, std::uint64_t> map
+        APC_GUARDED_BY(m);
+};
 
-std::unordered_map<const EventQueue *, std::uint64_t> &
-liveQueues()
+// Function-local static dodges static-init-order issues.
+LiveQueueRegistry &
+registry()
 {
-    static std::unordered_map<const EventQueue *, std::uint64_t> map;
-    return map;
+    // lint:allow(mutable-global) debug-build handle-validation
+    // registry; consulted only to detect stale handles, never feeds
+    // simulation results
+    static LiveQueueRegistry r;
+    return r;
 }
 
 std::uint64_t
 nextQueueEpoch()
 {
+    // lint:allow(mutable-global) mints process-unique queue epochs for
+    // the debug registry above; the values never reach reports
     static std::atomic<std::uint64_t> counter{0};
     return ++counter;
 }
@@ -48,21 +55,24 @@ nextQueueEpoch()
 bool
 detail::queueAlive(const EventQueue *q, std::uint64_t epoch)
 {
-    std::shared_lock<std::shared_mutex> lock(liveQueuesMutex());
-    auto it = liveQueues().find(q);
-    return it != liveQueues().end() && it->second == epoch;
+    LiveQueueRegistry &r = registry();
+    SharedMutexSharedLock lock(r.m);
+    auto it = r.map.find(q);
+    return it != r.map.end() && it->second == epoch;
 }
 
 EventQueue::EventQueue() : epoch_(nextQueueEpoch())
 {
-    std::unique_lock<std::shared_mutex> lock(liveQueuesMutex());
-    liveQueues().emplace(this, epoch_);
+    LiveQueueRegistry &r = registry();
+    SharedMutexExclusiveLock lock(r.m);
+    r.map.emplace(this, epoch_);
 }
 
 EventQueue::~EventQueue()
 {
-    std::unique_lock<std::shared_mutex> lock(liveQueuesMutex());
-    liveQueues().erase(this);
+    LiveQueueRegistry &r = registry();
+    SharedMutexExclusiveLock lock(r.m);
+    r.map.erase(this);
 }
 #else
 // Keep the symbols defined even in release builds so TUs compiled with
@@ -176,10 +186,10 @@ EventQueue::loadNextBucket()
         wheelCount_ -= run_.size();
         if (run_.size() > 1)
             std::sort(run_.begin(), run_.end(),
-                      [](const Ref &a, const Ref &b) {
-                          if (a.when != b.when)
-                              return a.when < b.when;
-                          return a.seq < b.seq;
+                      [](const Ref &x, const Ref &y) {
+                          if (x.when != y.when)
+                              return x.when < y.when;
+                          return x.seq < y.seq;
                       });
     }
     wheelNext_ += kBucketTicks;

@@ -85,6 +85,8 @@ Histogram::quantile(double q) const
             double v = lo + frac * (hi - lo);
             return std::clamp(v, min_, max_);
         }
+        // lint:allow(float-accum) fixed bin-index order; the bin
+        // contents are integer counts merged deterministically
         cum += c;
     }
     return max_;
@@ -108,6 +110,8 @@ Histogram::fractionBetween(double lo, double hi) const
         const double overlap_hi = std::min(bh, hi);
         const double w = bh > bl ? (overlap_hi - overlap_lo) / (bh - bl)
                                  : 1.0;
+        // lint:allow(float-accum) fixed bin-index order over merged
+        // integer counts; layout-invariant
         acc += w * static_cast<double>(bins_[i]);
     }
     return acc / static_cast<double>(count_);

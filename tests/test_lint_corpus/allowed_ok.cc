@@ -1,0 +1,32 @@
+// Corpus fixture: every violation below carries a lint:allow with a
+// reason, so this file must lint CLEAN. Never compiled.
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t countMeasured(
+    const std::unordered_map<std::uint64_t, bool> &flights)
+{
+    std::uint64_t n = 0;
+    // lint:allow(unordered-iteration) commutative integer count; the
+    // result is independent of visit order
+    for (const auto &kv : flights)
+        if (kv.second)
+            ++n;
+    return n;
+}
+
+double sumFixedOrder(const double *xs, int n)
+{
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i)
+        acc += xs[i]; // lint:allow(float-accum) fixed index order
+    return acc;
+}
+
+std::uint64_t debugEpoch()
+{
+    // lint:allow(mutable-global) debug-only identity mint; never
+    // reaches a report sink
+    static std::uint64_t counter = 0;
+    return ++counter;
+}

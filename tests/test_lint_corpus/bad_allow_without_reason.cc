@@ -1,0 +1,11 @@
+// Corpus fixture: a lint:allow with NO reason must itself be flagged
+// — the waiver trail stays auditable. Never compiled.
+#include <unordered_map>
+
+int walk(const std::unordered_map<int, int> &m)
+{
+    int n = 0;
+    for (const auto &kv : m) // lint:allow(unordered-iteration)
+        n += kv.second;
+    return n;
+}

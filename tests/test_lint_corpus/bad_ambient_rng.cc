@@ -1,0 +1,21 @@
+// Corpus fixture: ambient randomness must fire [ambient-rng]. Never
+// compiled.
+#include <cstdlib>
+#include <random>
+
+int jitterTicks()
+{
+    return rand() % 7; // process-global RNG: unreplayable
+}
+
+unsigned seedFromHardware()
+{
+    std::random_device rd; // hardware entropy: unreplayable
+    return rd();
+}
+
+double portableNoise()
+{
+    std::default_random_engine eng(42); // engine varies per stdlib
+    return std::uniform_real_distribution<double>(0.0, 1.0)(eng);
+}

@@ -1,0 +1,30 @@
+// Corpus fixture: loop accumulation into floating-point state must
+// fire [float-accum]. Never compiled.
+#include <cstddef>
+#include <vector>
+
+double mergeShardPower(const std::vector<std::vector<double>> &shards)
+{
+    double total = 0.0;
+    for (const auto &shard : shards)
+        for (std::size_t i = 0; i < shard.size(); ++i)
+            total += shard[i]; // shape depends on shard layout
+    return total;
+}
+
+float runningMean(const std::vector<float> &xs)
+{
+    float acc = 0.0f;
+    for (float x : xs)
+        acc += x;
+    return xs.empty() ? 0.0f : acc / static_cast<float>(xs.size());
+}
+
+// Integer accumulation must NOT fire:
+long countAll(const std::vector<int> &xs)
+{
+    long n = 0;
+    for (int x : xs)
+        n += x;
+    return n;
+}

@@ -1,0 +1,22 @@
+// Corpus fixture: mutable static / thread_local state must fire
+// [mutable-global]. Never compiled.
+#include <atomic>
+#include <cstdint>
+
+static std::uint64_t g_totalRequests = 0;    // couples runs
+thread_local int tls_scratch = 0;            // couples threads
+
+std::uint64_t nextId()
+{
+    static std::atomic<std::uint64_t> counter{0}; // hidden channel
+    return ++counter;
+}
+
+// Constants must NOT fire:
+static const int kTableSize = 64;
+static constexpr double kEps = 1e-9;
+
+void touch()
+{
+    g_totalRequests += static_cast<std::uint64_t>(tls_scratch);
+}

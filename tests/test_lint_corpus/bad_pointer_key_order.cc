@@ -1,0 +1,18 @@
+// Corpus fixture: pointer-keyed ordered containers must fire
+// [pointer-key-order]. Never compiled.
+#include <functional>
+#include <map>
+#include <set>
+
+struct Server;
+
+std::map<Server *, double> g_powerByServer;  // ASLR decides the order
+std::set<const Server *> g_active;           // same problem
+
+void sortByAddress(std::set<Server *, std::less<Server *>> &s)
+{
+    (void)s;
+}
+
+// Keying by a stable id must NOT fire:
+std::map<int, double> g_powerById;

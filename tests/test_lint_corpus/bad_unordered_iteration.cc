@@ -1,0 +1,40 @@
+// Corpus fixture: iteration over unordered containers must fire
+// [unordered-iteration]. Never compiled.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using FlightMap = std::unordered_map<std::uint64_t, int>;
+
+struct Report
+{
+    std::unordered_map<std::string, double> byName;
+    FlightMap inFlight;
+
+    std::vector<double> dump() const
+    {
+        std::vector<double> out;
+        for (const auto &kv : byName) // hash order leaks into the sink
+            out.push_back(kv.second);
+        return out;
+    }
+
+    int walkAlias() const
+    {
+        int n = 0;
+        for (const auto &kv : inFlight) // alias-typed container
+            n += kv.second;
+        return n;
+    }
+
+    double iterators() const
+    {
+        std::unordered_set<int> seen{1, 2, 3};
+        double acc2 = 0.0;
+        for (auto it = seen.begin(); it != seen.end(); ++it)
+            acc2 += static_cast<double>(*it);
+        return acc2;
+    }
+};

@@ -1,0 +1,23 @@
+// Corpus fixture: host-clock reads must fire [wall-clock]. Never
+// compiled.
+#include <chrono>
+#include <ctime>
+
+double simulatedLatency()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::system_clock::now();
+    (void)t1;
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+long stampReport()
+{
+    return static_cast<long>(time(nullptr)) + clock();
+}
+
+// A comment mentioning system_clock must NOT fire, nor must the
+// string literal below.
+const char *kDoc = "uses std::chrono::system_clock internally";

@@ -100,7 +100,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(io::IoLinkConfig::pcie(0), io::IoLinkConfig::pcie(1),
                       io::IoLinkConfig::pcie(2), io::IoLinkConfig::dmi(),
                       io::IoLinkConfig::upi(0), io::IoLinkConfig::upi(1)),
-    [](const auto &info) { return info.param.name; });
+    [](const auto &pinfo) { return pinfo.param.name; });
 
 // --- GPMU firmware-latency sweep ----------------------------------------
 
@@ -153,8 +153,8 @@ INSTANTIATE_TEST_SUITE_P(Timing, GpmuTimingSweep,
                          ::testing::Values(GpmuTiming{"fast", 0.5},
                                            GpmuTiming{"nominal", 1.0},
                                            GpmuTiming{"slow", 2.0}),
-                         [](const auto &info) {
-                             return std::string(info.param.name);
+                         [](const auto &pinfo) {
+                             return std::string(pinfo.param.name);
                          });
 
 // --- Histogram binning sweep ---------------------------------------------
