@@ -109,8 +109,11 @@ fleetCols(const fleet::FleetReport &r)
 /** Schema revision stamped into every BENCH_*.json summary. Bump when
  *  a field is added/renamed so trajectory tooling can gate on it.
  *  v3: health block (alerts_fired/worst_burn/time_in_violation_us/
- *  audit_violations) on capped sweep points + the breaker scenario. */
-inline constexpr int kBenchJsonSchemaVersion = 3;
+ *  audit_violations) on capped sweep points + the breaker scenario.
+ *  v4: BENCH_churn.json — fault-injection scenario grid with
+ *  availability, crash-loss/failover/timeout counters and the
+ *  layout-determinism verdict. */
+inline constexpr int kBenchJsonSchemaVersion = 4;
 
 /**
  * Turn on tail-latency attribution for a bench fleet run. Attribution

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Fleet churn scenario: availability and tail latency under injected
+ * faults — a scripted crash, a graceful drain, an edge-link flap and a
+ * core blackout on top of a stochastic crash hazard — with and without
+ * the client recovery path (timeout + capped backoff + failover).
+ *
+ * Three scenarios run on the same seed and traffic:
+ *   baseline          no faults, no recovery (the healthy fleet)
+ *   faults            churn injected, no recovery: losses are counted
+ *   faults+recovery   churn injected, failover masks most of them
+ *
+ * The recovery scenario re-runs across thread counts and shard
+ * layouts; the FleetReport CSV row must match byte-for-byte (fault
+ * injection is scheduled by counter-based substreams and applied at
+ * the single-threaded route stage, so churn cannot perturb the
+ * determinism contract). The health monitor audits conservation —
+ * injected = completed + lostToDrop + lostToCrash + inFlight — at
+ * every epoch boundary in all scenarios.
+ *
+ * Output: human-readable table on stdout, per-scenario CSV via
+ * APC_BENCH_CSV, and a machine-readable summary at APC_BENCH_JSON
+ * (default "BENCH_churn.json") — consumed by CI to validate shape and
+ * watch the availability trajectory.
+ *
+ * Knobs: APC_BENCH_DURATION_MS (measurement window, default 300).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/table_printer.h"
+#include "bench_common.h"
+#include "fault/fault.h"
+#include "fleet/fleet_sim.h"
+
+namespace apc {
+namespace {
+
+struct Scenario
+{
+    std::string name;
+    unsigned threads = 1;
+    std::size_t shardSize = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t lostToCrash = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t timeouts = 0;
+    double availability = 1.0;
+    double avgUs = 0;
+    double p99Us = 0;
+    std::uint64_t alertsFired = 0;
+    sim::Tick timeInViolation = 0;
+    std::uint64_t auditViolations = 0;
+    std::string csvRow; ///< determinism cross-check payload
+};
+
+fleet::FleetConfig
+churnConfig(bool faults, bool recovery, unsigned threads,
+            std::size_t shard_size)
+{
+    fleet::FleetConfig fc;
+    fc.numServers = 16;
+    fc.policy = soc::PackagePolicy::Cpc1a;
+    fc.workload = workload::WorkloadConfig::memcachedEtc(0);
+    fc.traffic.arrivalKind = workload::ArrivalKind::Poisson;
+    fc.traffic.qps = fc.workload.qpsForUtilization(
+        0.20, static_cast<int>(fc.numServers) * 10);
+    fc.sloUs = 10000.0;
+    fc.warmup = 10 * sim::kMs;
+    fc.duration = bench::benchDuration(300 * sim::kMs);
+    fc.seed = 77;
+    fc.fabric.enabled = true;
+    fc.nic.enabled = true;
+    fc.health.enabled = true;
+    fc.threads = threads;
+    fc.shardSize = shard_size;
+    if (!faults)
+        return fc;
+
+    // Scripted churn pinned to fractions of the measurement window so
+    // every APC_BENCH_DURATION_MS sees all four fault classes, plus a
+    // mild stochastic crash hazard across the fleet.
+    const sim::Tick d = fc.duration;
+    fc.faults.enabled = true;
+    fc.faults.scripted = {
+        {fc.warmup + d / 5, d / 8, fault::FaultKind::ServerCrash, 2},
+        {fc.warmup + 2 * d / 5, d / 10, fault::FaultKind::ServerDrain,
+         5},
+        {fc.warmup + 3 * d / 5, d / 16, fault::FaultKind::LinkFlap, 1},
+        {fc.warmup + 4 * d / 5, d / 64, fault::FaultKind::LinkFlap,
+         fault::kCoreLinkEntity},
+    };
+    fc.faults.crash.ratePerSec = 2.0;
+    fc.faults.crash.mttr = d / 12;
+    fc.recovery.enabled = recovery;
+    return fc;
+}
+
+Scenario
+runScenario(const std::string &name, bool faults, bool recovery,
+            unsigned threads = 1, std::size_t shard_size = 0)
+{
+    Scenario s;
+    s.name = name;
+    s.threads = threads;
+    s.shardSize = shard_size;
+    fleet::FleetSim fleet(
+        churnConfig(faults, recovery, threads, shard_size));
+    const fleet::FleetReport rep = fleet.run();
+    s.dispatched = rep.dispatched;
+    s.completed = rep.completed;
+    s.lost = rep.lostRequests;
+    s.lostToCrash = rep.lostToCrash;
+    s.failovers = rep.failovers;
+    s.timeouts = rep.timeouts;
+    s.availability = rep.dispatched
+        ? static_cast<double>(rep.completed) /
+            static_cast<double>(rep.dispatched)
+        : 1.0;
+    s.avgUs = rep.avgLatencyUs;
+    s.p99Us = rep.p99LatencyUs;
+    s.alertsFired = rep.health.alertsFired;
+    s.timeInViolation = rep.health.timeInViolation;
+    s.auditViolations = rep.health.auditViolations;
+    s.csvRow = rep.csvRow();
+    return s;
+}
+
+bool
+writeJson(const char *path, const std::vector<Scenario> &rows,
+          bool deterministic)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return false;
+    }
+    bool ok = true;
+    const auto put = [f, &ok](const char *fmt, auto... args) {
+        if (std::fprintf(f, fmt, args...) < 0)
+            ok = false;
+    };
+    put("{\n  \"bench\": \"fleet_churn\",\n");
+    put("  \"schema_version\": %d,\n", bench::kBenchJsonSchemaVersion);
+    put("  \"deterministic_across_layouts\": %s,\n",
+        deterministic ? "true" : "false");
+    put("  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Scenario &s = rows[i];
+        put("    {\"name\": \"%s\", \"threads\": %u, "
+            "\"shard_size\": %zu, \"dispatched\": %llu, "
+            "\"completed\": %llu, \"lost\": %llu, "
+            "\"lost_to_crash\": %llu, \"failovers\": %llu, "
+            "\"timeouts\": %llu, \"availability\": %.6f, "
+            "\"avg_us\": %.1f, \"p99_us\": %.1f, "
+            "\"alerts_fired\": %llu, \"time_in_violation_us\": %lld, "
+            "\"audit_violations\": %llu}%s\n",
+            s.name.c_str(), s.threads, s.shardSize,
+            static_cast<unsigned long long>(s.dispatched),
+            static_cast<unsigned long long>(s.completed),
+            static_cast<unsigned long long>(s.lost),
+            static_cast<unsigned long long>(s.lostToCrash),
+            static_cast<unsigned long long>(s.failovers),
+            static_cast<unsigned long long>(s.timeouts),
+            s.availability, s.avgUs, s.p99Us,
+            static_cast<unsigned long long>(s.alertsFired),
+            static_cast<long long>(s.timeInViolation / sim::kUs),
+            static_cast<unsigned long long>(s.auditViolations),
+            i + 1 < rows.size() ? "," : "");
+    }
+    put("  ]\n}\n");
+    if (std::fclose(f) != 0 || !ok) {
+        std::fprintf(stderr, "error: writing %s failed\n", path);
+        return false;
+    }
+    std::printf("\nWrote %s\n", path);
+    return true;
+}
+
+} // namespace
+} // namespace apc
+
+int
+main()
+{
+    using namespace apc;
+    using analysis::TablePrinter;
+
+    bench::banner("fleet churn: faults, failover, availability");
+
+    std::vector<Scenario> rows;
+    rows.push_back(runScenario("baseline", false, false));
+    rows.push_back(runScenario("faults", true, false));
+    rows.push_back(runScenario("faults+recovery", true, true));
+
+    // Determinism: churn + recovery across thread counts and shard
+    // layouts must reproduce the 1-thread report byte-for-byte.
+    bool deterministic = true;
+    const std::string &ref = rows.back().csvRow;
+    struct Layout
+    {
+        unsigned threads;
+        std::size_t shardSize;
+    };
+    for (const Layout &l : std::vector<Layout>{{2, 7}, {8, 64}}) {
+        Scenario s = runScenario("faults+recovery", true, true,
+                                 l.threads, l.shardSize);
+        if (s.csvRow != ref) {
+            deterministic = false;
+            std::fprintf(stderr,
+                         "DETERMINISM VIOLATION: threads=%u "
+                         "shard_size=%zu churn report differs from "
+                         "the 1-thread run\n",
+                         l.threads, l.shardSize);
+        }
+        rows.push_back(std::move(s));
+    }
+
+    std::FILE *csv = bench::csvSink();
+    if (csv)
+        std::fprintf(csv,
+                     "scenario,threads,shard_size,dispatched,completed,"
+                     "lost,lost_to_crash,failovers,timeouts,"
+                     "availability,avg_us,p99_us,alerts_fired,"
+                     "time_in_violation_us,audit_violations\n");
+
+    bool audits_clean = true;
+    TablePrinter t("Churn scenarios (16 servers, fabric + NIC + health)");
+    t.header({"Scenario", "Thr", "Avail %", "LostCrash", "Failover",
+              "Timeout", "p99 (us)", "Alerts", "Viol (ms)"});
+    for (const Scenario &s : rows) {
+        audits_clean = audits_clean && s.auditViolations == 0;
+        t.row({s.name + (s.threads > 1 ? "@" +
+                             std::to_string(s.threads) + "t"
+                                       : ""),
+               TablePrinter::num(s.threads, 0),
+               TablePrinter::num(100.0 * s.availability, 3),
+               TablePrinter::num(static_cast<double>(s.lostToCrash), 0),
+               TablePrinter::num(static_cast<double>(s.failovers), 0),
+               TablePrinter::num(static_cast<double>(s.timeouts), 0),
+               TablePrinter::num(s.p99Us, 0),
+               TablePrinter::num(static_cast<double>(s.alertsFired), 0),
+               TablePrinter::num(
+                   sim::toSeconds(s.timeInViolation) * 1e3, 1)});
+        if (csv)
+            std::fprintf(
+                csv,
+                "%s,%u,%zu,%llu,%llu,%llu,%llu,%llu,%llu,%.6f,%.1f,"
+                "%.1f,%llu,%lld,%llu\n",
+                s.name.c_str(), s.threads, s.shardSize,
+                static_cast<unsigned long long>(s.dispatched),
+                static_cast<unsigned long long>(s.completed),
+                static_cast<unsigned long long>(s.lost),
+                static_cast<unsigned long long>(s.lostToCrash),
+                static_cast<unsigned long long>(s.failovers),
+                static_cast<unsigned long long>(s.timeouts),
+                s.availability, s.avgUs, s.p99Us,
+                static_cast<unsigned long long>(s.alertsFired),
+                static_cast<long long>(s.timeInViolation / sim::kUs),
+                static_cast<unsigned long long>(s.auditViolations));
+    }
+    t.print();
+    std::printf(
+        "(failover turns crash losses into re-dispatches: compare the "
+        "faults row's lost_to_crash against faults+recovery's "
+        "failovers)\nDeterminism across layouts: %s\n"
+        "Conservation audits: %s\n",
+        deterministic ? "OK (reports byte-identical)" : "VIOLATED",
+        audits_clean ? "clean" : "VIOLATED");
+    const bool csv_ok = bench::closeCsv(csv);
+
+    const char *json_path = std::getenv("APC_BENCH_JSON");
+    const bool json_ok = writeJson(
+        json_path && *json_path ? json_path : "BENCH_churn.json", rows,
+        deterministic);
+    return (deterministic && audits_clean && csv_ok && json_ok) ? 0 : 1;
+}

@@ -9,7 +9,7 @@
 namespace apc::cap {
 
 BudgetAllocator::BudgetAllocator(BudgetConfig cfg, std::size_t num_servers)
-    : cfg_(std::move(cfg)), n_(num_servers)
+    : cfg_(std::move(cfg)), n_(num_servers), active_(num_servers, 1)
 {
     assert(n_ > 0);
     assert(cfg_.oversubscription >= 1.0);
@@ -38,6 +38,20 @@ BudgetAllocator::weight(std::size_t i) const
     return cfg_.weights.empty() ? 1.0 : std::max(cfg_.weights[i], 0.0);
 }
 
+void
+BudgetAllocator::setActive(std::size_t i, bool active)
+{
+    assert(i < n_);
+    active_[i] = active ? 1 : 0;
+}
+
+std::size_t
+BudgetAllocator::activeServers() const
+{
+    return static_cast<std::size_t>(
+        std::count(active_.begin(), active_.end(), 1));
+}
+
 std::vector<double>
 BudgetAllocator::allocate(sim::Tick now,
                           const std::vector<double> &demand_w)
@@ -56,19 +70,24 @@ BudgetAllocator::allocate(sim::Tick now,
     std::vector<double> alloc(n_, 0.0);
     // What each server wants this epoch: its recent draw plus headroom,
     // floored and nameplate-capped. Shared by the waterfill and by the
-    // unmet-demand accounting below.
+    // unmet-demand accounting below. A dead server wants nothing — its
+    // floor is redistributed to the survivors this very epoch.
+    const std::size_t live = activeServers();
+    rec.active = live;
     std::vector<double> want(n_);
     for (std::size_t i = 0; i < n_; ++i)
-        want[i] = std::clamp(demand_w[i] + cfg_.headroomW,
-                             cfg_.minServerW, cfg_.serverNameplateW);
-    const double floor_sum = static_cast<double>(n_) * cfg_.minServerW;
+        want[i] = active_[i]
+            ? std::clamp(demand_w[i] + cfg_.headroomW,
+                         cfg_.minServerW, cfg_.serverNameplateW)
+            : 0.0;
+    const double floor_sum = static_cast<double>(live) * cfg_.minServerW;
     if (floor_sum >= budget) {
         // Emergency: even the guaranteed floors overshoot the rack
         // budget (breaker trip). Scale floors proportionally so the
         // aggregate lands exactly on the derated budget.
         const double scale = floor_sum > 0 ? budget / floor_sum : 0.0;
         for (std::size_t i = 0; i < n_; ++i)
-            alloc[i] = cfg_.minServerW * scale;
+            alloc[i] = active_[i] ? cfg_.minServerW * scale : 0.0;
         rec.emergency = true;
         ++emergencyEpochs_;
     } else {
@@ -76,19 +95,19 @@ BudgetAllocator::allocate(sim::Tick now,
         // priority weight to the still-hungry, and any final surplus is
         // spread by weight as burst headroom.
         for (std::size_t i = 0; i < n_; ++i)
-            alloc[i] = cfg_.minServerW;
+            alloc[i] = active_[i] ? cfg_.minServerW : 0.0;
         double remaining = budget - floor_sum;
         for (std::size_t round = 0; round < n_ && remaining > 1e-9;
              ++round) {
             double hungry_weight = 0.0;
             for (std::size_t i = 0; i < n_; ++i)
-                if (alloc[i] < want[i])
+                if (active_[i] && alloc[i] < want[i])
                     hungry_weight += weight(i);
             if (hungry_weight <= 0)
                 break;
             double granted = 0.0;
             for (std::size_t i = 0; i < n_; ++i) {
-                if (alloc[i] >= want[i])
+                if (!active_[i] || alloc[i] >= want[i])
                     continue;
                 const double share =
                     remaining * weight(i) / hungry_weight;
@@ -105,10 +124,12 @@ BudgetAllocator::allocate(sim::Tick now,
             // burst headroom, capped at nameplate.
             double cap_weight = 0.0;
             for (std::size_t i = 0; i < n_; ++i)
-                if (alloc[i] < cfg_.serverNameplateW)
+                if (active_[i] && alloc[i] < cfg_.serverNameplateW)
                     cap_weight += weight(i);
             if (cap_weight > 0)
                 for (std::size_t i = 0; i < n_; ++i) {
+                    if (!active_[i])
+                        continue;
                     const double room =
                         cfg_.serverNameplateW - alloc[i];
                     alloc[i] += std::min(

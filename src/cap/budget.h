@@ -87,6 +87,7 @@ class BudgetAllocator
         double allocatedW = 0.0; ///< sum of granted limits
         double unmetW = 0.0;     ///< wanted-but-ungranted watts
         bool emergency = false;  ///< floors had to be scaled
+        std::size_t active = 0;  ///< servers participating this epoch
     };
 
     BudgetAllocator(BudgetConfig cfg, std::size_t num_servers);
@@ -107,6 +108,18 @@ class BudgetAllocator
      */
     std::vector<double> allocate(sim::Tick now,
                                  const std::vector<double> &demand_w);
+
+    /**
+     * Mark a server dead (crashed/drained) or alive again. An inactive
+     * server is dropped from the waterfill entirely — no floor, no
+     * demand, no weight, a zero limit — so its guaranteed watts are
+     * redistributed to the survivors at the next allocate() call, i.e.
+     * within one budget epoch of the fault.
+     */
+    void setActive(std::size_t i, bool active);
+
+    /** Servers currently participating in allocation. */
+    std::size_t activeServers() const;
 
     const std::vector<EpochRecord> &
     log() const
@@ -148,6 +161,8 @@ class BudgetAllocator
     BudgetConfig cfg_;
     std::size_t n_;
     double nominalBudgetW_;
+    /** Per-server liveness mask (1 = participates in allocation). */
+    std::vector<std::uint8_t> active_;
     /**
      * Epoch-log ownership capability: allocate() runs on the
      * single-threaded fleet spine between parallel phases, so the log

@@ -65,11 +65,13 @@ RoundRobinDispatcher::pick()
     for (std::size_t tries = 0; tries < n_; ++tries) {
         const std::size_t i = next_;
         next_ = (next_ + 1) % n_;
+        if (i < removed_.size() && removed_[i])
+            continue;
         if (std::find(excluded_.begin(), excluded_.end(), i)
                 == excluded_.end())
             return i;
     }
-    return 0; // everything excluded; caller guarantees this can't matter
+    return kNone; // everything excluded or removed
 }
 
 std::unique_ptr<Dispatcher>

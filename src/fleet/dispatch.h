@@ -116,6 +116,9 @@ class MinIndex
 class Dispatcher
 {
   public:
+    /** pick() result when no server is currently pickable. */
+    static constexpr std::size_t kNone = SIZE_MAX;
+
     virtual ~Dispatcher() = default;
 
     /** Load the epoch-boundary backend view. */
@@ -124,8 +127,9 @@ class Dispatcher
 
     /**
      * Choose a server for the next request (or fanout replica). Never
-     * returns an excluded server unless every server is excluded.
-     * @return server index in [0, fleet size)
+     * returns an excluded or removed server; returns kNone when every
+     * server is excluded or removed.
+     * @return server index in [0, fleet size), or kNone
      */
     virtual std::size_t pick() = 0;
 
@@ -137,6 +141,21 @@ class Dispatcher
 
     /** Drop all exclusions (start of the next request). */
     virtual void clearExclusions() = 0;
+
+    /**
+     * Take @p srv out of the pick set entirely (server Down or
+     * Draining). Unlike exclude, a removal survives refresh() and
+     * clearExclusions() — only reinsert() undoes it. O(log n) for the
+     * indexed policies.
+     */
+    virtual void remove(std::size_t srv) = 0;
+
+    /** Return @p srv to the pick set with @p outstanding live work. */
+    virtual void reinsert(std::size_t srv, std::uint32_t outstanding)
+        = 0;
+
+    /** Servers currently removed from the pick set. */
+    virtual std::size_t removedCount() const = 0;
 };
 
 /** Build the policy object for @p kind over @p num_servers servers. */
@@ -157,6 +176,7 @@ class RoundRobinDispatcher : public Dispatcher
     refresh(const std::vector<std::uint32_t> &outstanding) override
     {
         n_ = outstanding.size();
+        removed_.resize(n_, 0);
     }
 
     std::size_t pick() override;
@@ -164,10 +184,34 @@ class RoundRobinDispatcher : public Dispatcher
     void exclude(std::size_t srv) override { excluded_.push_back(srv); }
     void clearExclusions() override { excluded_.clear(); }
 
+    void
+    remove(std::size_t srv) override
+    {
+        removed_.resize(std::max(n_, srv + 1), 0);
+        if (!removed_[srv]) {
+            removed_[srv] = 1;
+            ++removedCount_;
+        }
+    }
+
+    void
+    reinsert(std::size_t srv, std::uint32_t) override
+    {
+        removed_.resize(std::max(n_, srv + 1), 0);
+        if (removed_[srv]) {
+            removed_[srv] = 0;
+            --removedCount_;
+        }
+    }
+
+    std::size_t removedCount() const override { return removedCount_; }
+
   private:
     std::size_t n_;
     std::size_t next_ = 0;
     std::vector<std::size_t> excluded_; ///< small: one per replica
+    std::vector<std::uint8_t> removed_;
+    std::size_t removedCount_ = 0;
 };
 
 /** Shared machinery for the MinIndex-backed queue-depth policies. */
@@ -178,6 +222,13 @@ class IndexedDispatcher : public Dispatcher
     refresh(const std::vector<std::uint32_t> &outstanding) override
     {
         idx_.assign(outstanding);
+        // Removals survive the epoch-boundary view reload: a Down
+        // server's (possibly non-zero, still-draining) outstanding
+        // count must not bring it back into the pick set.
+        removed_.resize(outstanding.size(), 0);
+        for (std::size_t i = 0; i < removed_.size(); ++i)
+            if (removed_[i])
+                idx_.set(i, MinIndex::kInf);
     }
 
     void
@@ -203,23 +254,54 @@ class IndexedDispatcher : public Dispatcher
     clearExclusions() override
     {
         for (const auto &[s, v] : saved_)
-            idx_.set(s, v);
+            if (s >= removed_.size() || !removed_[s])
+                idx_.set(s, v);
         saved_.clear();
     }
 
+    void
+    remove(std::size_t srv) override
+    {
+        removed_.resize(std::max(removed_.size(), srv + 1), 0);
+        if (removed_[srv])
+            return;
+        removed_[srv] = 1;
+        ++removedCount_;
+        // If the server is also transiently excluded, its live count
+        // sits in saved_; clearExclusions() skips removed servers, so
+        // parking the leaf at infinity here is final either way.
+        idx_.set(srv, MinIndex::kInf);
+    }
+
+    void
+    reinsert(std::size_t srv, std::uint32_t outstanding) override
+    {
+        removed_.resize(std::max(removed_.size(), srv + 1), 0);
+        if (!removed_[srv])
+            return;
+        removed_[srv] = 0;
+        --removedCount_;
+        idx_.set(srv, outstanding);
+    }
+
+    std::size_t removedCount() const override { return removedCount_; }
+
   protected:
-    /** Leftmost least-loaded server (0 when everything is excluded —
-     *  the caller guarantees that pick is never used). */
+    /** Leftmost least-loaded server; kNone when everything is masked
+     *  (all excluded and/or removed). */
     std::size_t
     shortestQueue() const
     {
         const std::size_t i = idx_.argmin();
-        return i != MinIndex::npos && idx_.get(i) != MinIndex::kInf ? i
-                                                                    : 0;
+        return i != MinIndex::npos && idx_.get(i) != MinIndex::kInf
+            ? i
+            : kNone;
     }
 
     MinIndex idx_;
     std::vector<std::pair<std::size_t, std::uint32_t>> saved_;
+    std::vector<std::uint8_t> removed_;
+    std::size_t removedCount_ = 0;
 };
 
 /** Join-the-shortest-queue on the (stale) outstanding counts. */

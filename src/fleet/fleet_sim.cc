@@ -38,7 +38,8 @@ FleetReport::csvHeader()
            "slo_us,slo_violation_frac,utilization,pc1a_residency,"
            "nic_irqs,nic_rx_drops,pkts_per_irq_avg,"
            "rack_budget_w,budget_util,cap_violation_rate,"
-           "cap_throttle_res,cap_perf_loss,emergency_epochs";
+           "cap_throttle_res,cap_perf_loss,emergency_epochs,"
+           "lost_crash,failovers";
 }
 
 std::string
@@ -49,7 +50,7 @@ FleetReport::csvRow() const
         buf, sizeof(buf),
         "%zu,%llu,%llu,%llu,%llu,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f,"
         "%.6f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.1f,%.6f,%.4f,%.4f,"
-        "%llu,%llu,%.2f,%.2f,%.4f,%.6f,%.4f,%.4f,%llu",
+        "%llu,%llu,%.2f,%.2f,%.4f,%.6f,%.4f,%.4f,%llu,%llu,%llu",
         numServers, static_cast<unsigned long long>(dispatched),
         static_cast<unsigned long long>(completed),
         static_cast<unsigned long long>(lostRequests),
@@ -62,7 +63,9 @@ FleetReport::csvRow() const
         static_cast<unsigned long long>(nicRxDrops),
         nicPktsPerIrq.mean(), rackBudgetW, budgetUtilization,
         capViolationRate(), capThrottleResidency, capPerfLoss,
-        static_cast<unsigned long long>(emergencyEpochs));
+        static_cast<unsigned long long>(emergencyEpochs),
+        static_cast<unsigned long long>(lostToCrash),
+        static_cast<unsigned long long>(failovers));
     return buf;
 }
 
@@ -122,7 +125,16 @@ FleetSim::FleetSim(FleetConfig cfg)
                     sim::RoleGuard own(slot->writer);
                     slot->drops.push_back({at, srv, id});
                 });
+        if (cfg_.faults.enabled)
+            servers_[i]->onAbort(
+                [slot, srv](std::uint64_t id, sim::Tick at) {
+                    sim::RoleGuard own(slot->writer);
+                    slot->aborts.push_back({at, srv, id});
+                });
     }
+    if (cfg_.faults.enabled)
+        faultPlan_ = std::make_unique<fault::FaultPlan>(
+            cfg_.faults, cfg_.seed, cfg_.numServers);
     // Tracing attaches before the allocator's initial allocation so
     // the first setPowerLimit lands in the trace too.
     if (cfg_.trace.enabled) {
@@ -238,11 +250,9 @@ FleetSim::transit(sim::Tick at, std::size_t srv, sim::Tick &deliver,
         if (tr.lost)
             return false;
         deliver = tr.deliverAt;
-        // Each retry waits exactly one RTO before re-offering
-        // (Fabric::route), so the retransmit share of the transit is
-        // derivable — the remainder is wire time.
-        rto_wait =
-            static_cast<sim::Tick>(tr.retransmits) * cfg_.fabric.rto;
+        // The fabric accumulates the exact (exponentially backed-off)
+        // RTO share of the transit; the remainder is wire time.
+        rto_wait = tr.rtoWait;
     }
     return true;
 }
@@ -325,8 +335,99 @@ FleetSim::allocateBudgets(sim::Tick now)
 }
 
 void
+FleetSim::applyFaults(sim::Tick from, sim::Tick to)
+{
+    if (!faultPlan_)
+        return;
+    // Recovered servers rejoin the pick set at the first route stage
+    // after their restart completed (the lifecycle flipped Up inside
+    // the server's own advance). Entries are appended in plan order,
+    // so the reinsertion order is layout-invariant.
+    if (!pendingUp_.empty()) {
+        std::size_t kept = 0;
+        for (const auto &pu : pendingUp_) {
+            if (pu.first > from) {
+                pendingUp_[kept++] = pu;
+                continue;
+            }
+            const std::uint32_t srv = pu.second;
+            // A newer fault may have taken the server down again
+            // before this reinsertion came due; its own pending entry
+            // revives it later.
+            if (servers_[srv]->lifecycle() != server::Lifecycle::Up)
+                continue;
+            dispatcher_->reinsert(
+                srv, static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                         servers_[srv]->outstanding(), UINT32_MAX)));
+            if (allocator_)
+                allocator_->setActive(srv, true);
+        }
+        pendingUp_.resize(kept);
+    }
+    faultPlan_->epoch(from, to, faultScratch_);
+    for (const fault::FaultEvent &ev : faultScratch_) {
+        switch (ev.kind) {
+        case fault::FaultKind::ServerCrash:
+        case fault::FaultKind::ServerDrain: {
+            const bool crash = ev.kind == fault::FaultKind::ServerCrash;
+            const std::uint32_t srv = ev.entity;
+            server::ServerSim &s = *servers_[srv];
+            const sim::Tick up_at = ev.at + ev.duration;
+            const sim::Tick ready_at = up_at + cfg_.faults.restartCost;
+            if (crash)
+                s.scheduleCrash(ev.at);
+            else
+                s.scheduleDrain(ev.at);
+            s.scheduleRestart(up_at, ready_at);
+            // Removal takes effect for the whole epoch's dispatches:
+            // faults apply before routing, at epoch granularity.
+            dispatcher_->remove(srv);
+            if (allocator_)
+                allocator_->setActive(srv, false);
+            pendingUp_.push_back({ready_at, srv});
+            if (fleetTrace_) {
+                fleetTrace_->instant(ev.at,
+                                     crash ? obs::Name::SrvCrash
+                                           : obs::Name::SrvDrain,
+                                     obs::Track::Health, srv);
+                fleetTrace_->span(ev.at, ready_at - ev.at,
+                                  obs::Name::SrvDown, obs::Track::Health,
+                                  srv);
+                fleetTrace_->instant(ready_at, obs::Name::SrvRestart,
+                                     obs::Track::Health, srv);
+            }
+            break;
+        }
+        case fault::FaultKind::LinkFlap:
+            if (fabric_) {
+                if (ev.entity == fault::kCoreLinkEntity)
+                    fabric_->flapCore(ev.at, ev.at + ev.duration);
+                else
+                    fabric_->flapServer(ev.entity, ev.at,
+                                        ev.at + ev.duration);
+            }
+            if (fleetTrace_)
+                fleetTrace_->span(ev.at, ev.duration,
+                                  obs::Name::LinkFlap,
+                                  obs::Track::Health, ev.entity);
+            break;
+        case fault::FaultKind::NicFreeze:
+            servers_[ev.entity]->freezeNic(ev.at, ev.at + ev.duration);
+            if (fleetTrace_)
+                fleetTrace_->span(ev.at, ev.duration,
+                                  obs::Name::NicFreeze,
+                                  obs::Track::Health, ev.entity);
+            break;
+        case fault::FaultKind::kCount:
+            break;
+        }
+    }
+}
+
+void
 FleetSim::dispatchEpoch(sim::Tick from, sim::Tick to)
 {
+    applyFaults(from, to);
     // Fresh backend view at the epoch boundary; in-epoch dispatches are
     // layered on top (onDispatch) as they happen.
     for (std::size_t i = 0; i < servers_.size(); ++i)
@@ -345,34 +446,61 @@ FleetSim::dispatchEpoch(sim::Tick from, sim::Tick to)
         fl.lost = 0;
         fl.lastDone = 0;
         fl.measured = measuring_ && ev.at >= measureStart_;
+        fl.fanout = ev.fanout > 1;
         if (fl.measured)
             ++dispatched_;
-        if (ev.fanout <= 1) {
+        const auto it = inFlight_.emplace(id, std::move(fl)).first;
+        Flight &f = it->second;
+        if (!f.fanout) {
             const std::size_t srv = dispatcher_->pick();
+            if (srv == Dispatcher::kNone) {
+                // Every server is out of the pick set (mass outage):
+                // fail the zeroth attempt — recovery backs off and
+                // retries, otherwise the request is lost to the fault.
+                // failAttempt may erase the flight; don't touch `it`.
+                failAttempt(it, ev.at);
+                continue;
+            }
             dispatcher_->onDispatch(srv);
-            if (routeReplica(ev.at, ev.service, srv, id))
-                ++fl.remaining;
-            else
-                ++fl.lost;
-        } else {
+            f.attempts = 1;
+            f.curSrv = static_cast<std::uint32_t>(srv);
+            f.attemptAt = ev.at;
+            if (routeReplica(ev.at, ev.service, srv, id)) {
+                ++f.remaining;
+                armTimeout(it, ev.at);
+            } else if (cfg_.recovery.enabled) {
+                failAttempt(it, ev.at);
+            } else {
+                ++f.lost;
+                finishFlight(it); // the only replica died in transit
+            }
+            continue;
+        }
+        {
             // Fanout replicas land on distinct servers (capped at the
-            // fleet size): the slowest replica gates completion.
+            // fleet size): the slowest replica gates completion, and
+            // all shards must answer — a destroyed replica is a lost
+            // request, not a failover (the shard's data is gone).
             const int replicas = std::min<int>(
                 ev.fanout, static_cast<int>(servers_.size()));
             for (int k = 0; k < replicas; ++k) {
                 const std::size_t srv = dispatcher_->pick();
+                if (srv == Dispatcher::kNone) {
+                    ++f.lost;
+                    f.crashLoss = true;
+                    continue;
+                }
                 dispatcher_->onDispatch(srv);
                 dispatcher_->exclude(srv);
                 if (routeReplica(ev.at, ev.service, srv, id))
-                    ++fl.remaining;
+                    ++f.remaining;
                 else
-                    ++fl.lost;
+                    ++f.lost;
             }
             dispatcher_->clearExclusions();
         }
-        const auto it = inFlight_.emplace(id, fl).first;
-        if (fl.remaining == 0)
-            finishFlight(it); // every replica was lost in the fabric
+        if (f.remaining == 0)
+            finishFlight(it); // nothing routed (fabric loss / outage)
     }
 }
 
@@ -409,6 +537,8 @@ FleetSim::advanceShards(sim::Tick to)
                 std::sort(slot.completions.begin(),
                           slot.completions.end(), stagedBefore);
                 std::sort(slot.drops.begin(), slot.drops.end(),
+                          stagedBefore);
+                std::sort(slot.aborts.begin(), slot.aborts.end(),
                           stagedBefore);
                 if (prof)
                     profiler_.addShardTime(
@@ -470,36 +600,43 @@ FleetSim::mergeStaged(std::vector<StagedEvent> ShardSlot::*stream,
 }
 
 void
-FleetSim::finishFlight(FlightMap::iterator it)
+FleetSim::resolveFlight(FlightMap::iterator it, sim::Tick done,
+                        bool lost)
 {
-    const Flight &fl = it->second;
+    Flight &fl = it->second;
+    assert(!fl.resolved);
+    fl.resolved = true;
     if (fleetTrace_) {
         // Client-observed request lifecycle (warmup included): span to
-        // the slowest replica's response, or a loss marker.
-        if (fl.lost > 0)
+        // the winning response, or a loss marker.
+        if (lost)
             fleetTrace_->instant(fl.arrival, obs::Name::Lost,
                                  obs::Track::Requests, it->first);
         else
             fleetTrace_->span(fl.arrival,
-                              fl.lastDone - fl.arrival +
+                              done - fl.arrival +
                                   (fabric_ ? 0 : cfg_.networkLatency),
                               obs::Name::Request, obs::Track::Requests,
                               it->first);
     }
     if (fl.measured) {
-        if (fl.lost > 0) {
-            // A request with any replica dropped beyond retry never
-            // answers the client: count it lost and against the SLO.
-            ++lostRequests_;
+        if (lost) {
+            // A request that never answers the client counts lost and
+            // against the SLO; fault-caused losses (crash aborts,
+            // refusals, outage dispatch failures, failover exhaustion)
+            // are split out so a crash can't hide in drop accounting.
+            if (fl.crashLoss)
+                ++lostToCrash_;
+            else
+                ++lostRequests_;
             ++sloViolations_;
             if (health_)
                 health_->slo().recordLost();
         } else {
-            // End-to-end: slowest replica's response at the client.
-            // Without a fabric the constant network RTT stands in.
+            // End-to-end: winning response at the client. Without a
+            // fabric the constant network RTT stands in.
             const sim::Tick extra = fabric_ ? 0 : cfg_.networkLatency;
-            const double us =
-                sim::toMicros(fl.lastDone - fl.arrival + extra);
+            const double us = sim::toMicros(done - fl.arrival + extra);
             ++completed_;
             latencyUs_.record(us);
             latencyHistUs_.record(us);
@@ -509,8 +646,210 @@ FleetSim::finishFlight(FlightMap::iterator it)
                 health_->slo().recordLatency(us);
         }
     }
+}
+
+void
+FleetSim::maybeEraseFlight(FlightMap::iterator it)
+{
+    const Flight &fl = it->second;
+    // The shell persists until every routed replica delivered or
+    // aborted and no retry is scheduled: late responses and crash
+    // aborts from superseded attempts must find their flight. (Stale
+    // timeout entries look the flight up by id and tolerate absence.)
+    if (!fl.resolved || fl.remaining > 0 || fl.retryPending)
+        return;
     ++flightsFinished_;
     inFlight_.erase(it);
+}
+
+void
+FleetSim::finishFlight(FlightMap::iterator it)
+{
+    Flight &fl = it->second;
+    if (!fl.resolved && fl.remaining <= 0 && !fl.retryPending &&
+        fl.timeoutsArmed == 0)
+        resolveFlight(it, fl.lastDone, fl.lost > 0);
+    maybeEraseFlight(it);
+}
+
+void
+FleetSim::armTimeout(FlightMap::iterator it, sim::Tick at)
+{
+    Flight &fl = it->second;
+    if (!cfg_.recovery.enabled || fl.fanout)
+        return;
+    timeoutQueue_.push_back(
+        {at + cfg_.recovery.requestTimeout, it->first, fl.attempts - 1});
+    ++fl.timeoutsArmed;
+}
+
+void
+FleetSim::failAttempt(FlightMap::iterator it, sim::Tick at)
+{
+    Flight &fl = it->second;
+    if (fl.resolved) {
+        maybeEraseFlight(it);
+        return;
+    }
+    if (fl.attempts > 0 &&
+        std::find(fl.failedSrv.begin(), fl.failedSrv.end(), fl.curSrv) ==
+            fl.failedSrv.end())
+        fl.failedSrv.push_back(fl.curSrv);
+    const bool rec = cfg_.recovery.enabled && !fl.fanout;
+    if (!rec || fl.attempts >= cfg_.recovery.maxAttempts) {
+        // Out of attempts (or no recovery): the client gives up now.
+        // Anything still physically in flight drains into the shell.
+        ++fl.lost;
+        fl.crashLoss = true;
+        resolveFlight(it, at, true);
+        maybeEraseFlight(it);
+        return;
+    }
+    // Record the abandoned window for the blame report; the whole gap
+    // history is re-emitted to each failover target at re-dispatch.
+    if (attr_ && fl.attempts > 0 && at > fl.attemptAt)
+        fl.gaps.push_back({fl.attemptAt, at - fl.attemptAt, false});
+    fl.lastFailAt = at;
+    fl.retryPending = true;
+    retryQueue_.push_back(
+        {at + fault::backoffDelay(cfg_.recovery, cfg_.seed, it->first,
+                                  std::max(fl.attempts - 1, 0)),
+         it->first});
+}
+
+void
+FleetSim::drainAborts()
+{
+    mergeStaged(&ShardSlot::aborts, [this](const StagedEvent &ev) {
+        const auto it = inFlight_.find(ev.id);
+        assert(it != inFlight_.end());
+        Flight &fl = it->second;
+        --fl.remaining;
+        const bool rec = cfg_.recovery.enabled && !fl.fanout;
+        if (!rec) {
+            // No failover path: a destroyed replica is a lost request
+            // (for fanout, that shard's answer is gone for good).
+            if (!fl.resolved) {
+                ++fl.lost;
+                fl.crashLoss = true;
+            }
+            finishFlight(it);
+            return;
+        }
+        if (!fl.resolved && !fl.retryPending && ev.srv == fl.curSrv) {
+            // The current attempt died on the server: fail over now
+            // instead of waiting out the timeout.
+            failAttempt(it, ev.at);
+            return;
+        }
+        // A superseded attempt's death — the flight already moved on.
+        finishFlight(it);
+    });
+}
+
+void
+FleetSim::processRecovery(sim::Tick t1)
+{
+    if (timeoutQueue_.empty() && retryQueue_.empty())
+        return;
+    // Fixpoint over this epoch: a fired timeout can schedule a retry
+    // due before t1, and a re-dispatched attempt can arm a timeout
+    // that also expires before t1. Attempts are capped, so each round
+    // strictly consumes attempt budget and the loop terminates.
+    bool progress = true;
+    std::vector<PendingTimeout> dueT;
+    std::vector<std::pair<sim::Tick, std::uint64_t>> dueR;
+    while (progress) {
+        progress = false;
+        dueT.clear();
+        std::size_t kept = 0;
+        for (const PendingTimeout &pt : timeoutQueue_) {
+            if (pt.deadline <= t1)
+                dueT.push_back(pt);
+            else
+                timeoutQueue_[kept++] = pt;
+        }
+        timeoutQueue_.resize(kept);
+        // Canonical firing order regardless of arming order.
+        std::sort(dueT.begin(), dueT.end(),
+                  [](const PendingTimeout &a, const PendingTimeout &b) {
+                      return a.deadline != b.deadline
+                          ? a.deadline < b.deadline
+                          : (a.id != b.id ? a.id < b.id
+                                          : a.attempt < b.attempt);
+                  });
+        for (const PendingTimeout &pt : dueT) {
+            progress = true;
+            const auto it = inFlight_.find(pt.id);
+            if (it == inFlight_.end())
+                continue; // shell already drained
+            Flight &fl = it->second;
+            --fl.timeoutsArmed;
+            if (fl.resolved || fl.retryPending ||
+                pt.attempt != fl.attempts - 1) {
+                // Stale: the flight resolved or moved to a newer
+                // attempt before this deadline came up.
+                finishFlight(it);
+                continue;
+            }
+            ++timeoutsFired_;
+            failAttempt(it, pt.deadline);
+        }
+        dueR.clear();
+        kept = 0;
+        for (const auto &rt : retryQueue_) {
+            if (rt.first <= t1)
+                dueR.push_back(rt);
+            else
+                retryQueue_[kept++] = rt;
+        }
+        retryQueue_.resize(kept);
+        std::sort(dueR.begin(), dueR.end());
+        for (const auto &rt : dueR) {
+            progress = true;
+            const auto it = inFlight_.find(rt.second);
+            assert(it != inFlight_.end()); // retryPending pins the shell
+            Flight &fl = it->second;
+            fl.retryPending = false;
+            // Re-dispatch at the quiescent epoch edge (the servers
+            // already advanced past the nominal due instant).
+            const sim::Tick at = std::max(rt.first, t1);
+            ++fl.attempts;
+            for (const std::uint32_t s : fl.failedSrv)
+                dispatcher_->exclude(s);
+            const std::size_t srv = dispatcher_->pick();
+            dispatcher_->clearExclusions();
+            if (srv == Dispatcher::kNone) {
+                // No server this request hasn't already failed on.
+                failAttempt(it, at);
+                continue;
+            }
+            dispatcher_->onDispatch(srv);
+            ++failovers_;
+            if (attr_) {
+                // Emit the full gap history valued at the new target:
+                // its replica chain then sums from the original
+                // dispatch, keeping the blame report additive.
+                if (at > fl.lastFailAt)
+                    fl.gaps.push_back(
+                        {fl.lastFailAt, at - fl.lastFailAt, true});
+                for (const Flight::Gap &g : fl.gaps)
+                    fleetTrace_->span(g.at, g.dur,
+                                      g.backoff ? obs::Name::SegFailover
+                                                : obs::Name::SegTimeoutWait,
+                                      obs::Track::Segments, rt.second,
+                                      static_cast<double>(srv));
+            }
+            fl.curSrv = static_cast<std::uint32_t>(srv);
+            fl.attemptAt = at;
+            if (routeReplica(at, fl.service, srv, rt.second)) {
+                ++fl.remaining;
+                armTimeout(it, at);
+            } else {
+                failAttempt(it, at);
+            }
+        }
+    }
 }
 
 void
@@ -520,18 +859,27 @@ FleetSim::drainCompletions()
         const auto it = inFlight_.find(ev.id);
         assert(it != inFlight_.end());
         Flight &fl = it->second;
+        // First successful response resolves a recovery-managed flight
+        // immediately — even one from a timed-out attempt that beat
+        // its own failover (the client takes whichever answer lands
+        // first; the accounting happens exactly once).
+        const bool single = cfg_.recovery.enabled && !fl.fanout;
         if (fabric_) {
             const auto tr = fabric_->toClient(ev.at, ev.srv);
             netRetransmits_ +=
                 static_cast<std::uint64_t>(tr.retransmits);
             if (tr.lost) {
-                ++fl.lost;
+                // Under recovery the armed timeout notices the missing
+                // response and drives the failover; without it the
+                // request is lost outright.
+                if (!single)
+                    ++fl.lost;
             } else {
-                traceSendSegments(ev.at, tr.deliverAt,
-                                  static_cast<sim::Tick>(tr.retransmits) *
-                                      cfg_.fabric.rto,
+                traceSendSegments(ev.at, tr.deliverAt, tr.rtoWait,
                                   ev.srv, ev.id, true);
                 fl.lastDone = std::max(fl.lastDone, tr.deliverAt);
+                if (single && !fl.resolved)
+                    resolveFlight(it, tr.deliverAt, false);
             }
         } else {
             // The response half of the teleport RTT (see routeReplica).
@@ -542,9 +890,11 @@ FleetSim::drainCompletions()
                                   obs::Track::Segments, ev.id,
                                   static_cast<double>(ev.srv));
             fl.lastDone = std::max(fl.lastDone, ev.at);
+            if (single && !fl.resolved)
+                resolveFlight(it, ev.at, false);
         }
-        if (--fl.remaining == 0)
-            finishFlight(it);
+        --fl.remaining;
+        finishFlight(it);
     });
 }
 
@@ -566,9 +916,17 @@ FleetSim::drainNicDrops(sim::Tick now_floor)
             entry = fl.triesBySrv.end() - 1;
         }
         if (entry->second >= cfg_.fabric.maxTries) {
-            ++fl.lost;
-            if (--fl.remaining == 0)
-                finishFlight(it);
+            --fl.remaining;
+            if (cfg_.recovery.enabled && !fl.fanout && !fl.resolved &&
+                !fl.retryPending && ev.srv == fl.curSrv) {
+                // The current attempt exhausted its NIC resends: fail
+                // over instead of losing the request outright.
+                failAttempt(it, ev.at);
+                return;
+            }
+            if (!fl.resolved)
+                ++fl.lost;
+            finishFlight(it);
             return;
         }
         // Client resend of the tail-dropped replica to the same
@@ -593,9 +951,15 @@ FleetSim::drainNicDrops(sim::Tick now_floor)
                               false);
             scheduleInject(ev.srv, deliver, ev.id, fl.service);
         } else {
-            ++fl.lost;
-            if (--fl.remaining == 0)
-                finishFlight(it);
+            --fl.remaining;
+            if (cfg_.recovery.enabled && !fl.fanout && !fl.resolved &&
+                !fl.retryPending && ev.srv == fl.curSrv) {
+                failAttempt(it, ev.at);
+                return;
+            }
+            if (!fl.resolved)
+                ++fl.lost;
+            finishFlight(it);
         }
     });
 }
@@ -645,6 +1009,8 @@ FleetSim::run()
             const auto sc = profiler_.scope(Phase::Merge);
             drainCompletions();
             drainNicDrops(t1);
+            drainAborts();
+            processRecovery(t1);
         }
         if (metrics_ && metrics_->due(t1))
             sampleMetrics(t1);
@@ -673,6 +1039,8 @@ FleetSim::run()
             const auto sc = profiler_.scope(Phase::Merge);
             drainCompletions();
             drainNicDrops(t1);
+            drainAborts();
+            processRecovery(t1);
         }
         if (metrics_ && metrics_->due(t1))
             sampleMetrics(t1);
@@ -779,15 +1147,19 @@ FleetSim::buildAuditSnapshot(sim::Tick now)
     snap.dispatched = dispatched_;
     snap.completed = completed_;
     snap.lost = lostRequests_;
+    snap.lostToCrash = lostToCrash_;
     // lint:allow(unordered-iteration) commutative integer count; the
     // result is independent of visit order
     for (const auto &kv : inFlight_)
-        if (kv.second.measured)
+        // A resolved shell was already counted (completed or lost);
+        // only unresolved flights are conservation's "in flight".
+        if (kv.second.measured && !kv.second.resolved)
             ++snap.measuredInFlight;
 
     snap.servers.reserve(servers_.size());
     for (const auto &s : servers_)
-        snap.servers.push_back({s->accepted(), s->completed()});
+        snap.servers.push_back(
+            {s->accepted(), s->completed(), s->aborted()});
 
     if (fabric_) {
         const auto add = [&snap](const net::DropTailLink &l) {
@@ -835,13 +1207,19 @@ FleetSim::buildAuditSnapshot(sim::Tick now)
         for (std::size_t i = auditLogPos_; i < log.size(); ++i)
             snap.newEpochs.push_back({log[i].at, log[i].budgetW,
                                       log[i].allocatedW,
-                                      log[i].emergency});
+                                      log[i].emergency, log[i].active});
         auditLogPos_ = log.size();
         if (!log.empty())
             snap.lastBudgetW = log.back().budgetW;
         snap.serverLimitW.reserve(servers_.size());
         for (const auto &s : servers_)
             snap.serverLimitW.push_back(s->powerLimitW());
+        if (faultPlan_) {
+            snap.serverActive.reserve(servers_.size());
+            for (const auto &s : servers_)
+                snap.serverActive.push_back(
+                    s->lifecycle() == server::Lifecycle::Up ? 1 : 0);
+        }
     }
     return snap;
 }
@@ -995,8 +1373,12 @@ FleetSim::aggregate()
     rep.sloUs = cfg_.sloUs;
     rep.sloViolations = sloViolations_;
     rep.lostRequests = lostRequests_;
+    rep.lostToCrash = lostToCrash_;
+    rep.failovers = failovers_;
+    rep.timeouts = timeoutsFired_;
     rep.netRetransmits = netRetransmits_;
-    const std::uint64_t answered = completed_ + lostRequests_;
+    const std::uint64_t answered =
+        completed_ + lostRequests_ + lostToCrash_;
     rep.sloViolationFraction = answered > 0
         ? static_cast<double>(sloViolations_) /
             static_cast<double>(answered)

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "cap/budget.h"
+#include "fault/fault.h"
 #include "fleet/dispatch.h"
 #include "fleet/shard.h"
 #include "fleet/thread_pool.h"
@@ -162,6 +163,27 @@ struct FleetConfig
      */
     obs::HealthConfig health;
 
+    /**
+     * Deterministic fault injection (fault/fault.h): scripted and
+     * stochastic server crashes, drain/restart cycles, link flaps and
+     * NIC ring freezes, materialized per epoch from counter-based RNG
+     * substreams and applied at the single-threaded route stage — the
+     * same fault schedule at any thread count or shard layout. A
+     * disabled plan has zero footprint: reports are byte-identical
+     * with the subsystem compiled in and off.
+     */
+    fault::FaultPlanConfig faults;
+
+    /**
+     * Client-side graceful degradation (fault/fault.h): per-request
+     * timeouts, capped exponential backoff with deterministic
+     * per-request jitter, and failover re-dispatch to a server that
+     * has not failed this request yet. Applies to single-replica
+     * requests; fanout requests keep all-shards-must-answer semantics
+     * (a crashed replica is a lost request).
+     */
+    fault::RecoveryConfig recovery;
+
     /** Wall-clock profiling of the route/advance/merge pipeline
      *  (obs/profiler.h); negligible cost, on by default. */
     bool profile = true;
@@ -221,6 +243,15 @@ struct FleetReport
     // Network accounting (fabric/NIC enabled runs only).
     /** Measured requests that never completed (drops beyond retry). */
     std::uint64_t lostRequests = 0;
+    /** Measured requests destroyed by injected faults — crashed or
+     *  refused replicas, mass-outage dispatch failures, and requests
+     *  the client abandoned after exhausting failover attempts. Never
+     *  silently vanished: the auditor's conservation law counts them. */
+    std::uint64_t lostToCrash = 0;
+    /** Successful failover re-dispatches (recovery enabled). */
+    std::uint64_t failovers = 0;
+    /** Per-attempt client timeouts that fired (recovery enabled). */
+    std::uint64_t timeouts = 0;
     /** Client resends: fabric retransmits + NIC ring-drop resends. */
     std::uint64_t netRetransmits = 0;
     std::uint64_t nicInterrupts = 0;
@@ -373,11 +404,44 @@ class FleetSim
         sim::Tick lastDone; ///< slowest replica completion so far
         bool measured;      ///< arrived inside the measurement window
         /**
+         * Client outcome (success or loss) already recorded. The shell
+         * stays in the map until every routed replica has drained —
+         * late responses and crash aborts from superseded attempts
+         * land here instead of in an accounting hole.
+         */
+        bool resolved = false;
+        /** A fault caused the loss: crash/refusal abort, mass-outage
+         *  dispatch failure, or failover-attempt exhaustion. Splits
+         *  lostToCrash from lostRequests at resolution. */
+        bool crashLoss = false;
+        bool fanout = false; ///< multi-replica (no failover path)
+        /** Dispatch attempts consumed (recovery bookkeeping). */
+        int attempts = 0;
+        /** A failover re-dispatch is scheduled but not yet routed. */
+        bool retryPending = false;
+        /** Armed, not-yet-fired entries in the timeout queue. */
+        int timeoutsArmed = 0;
+        std::uint32_t curSrv = 0; ///< latest single-replica target
+        sim::Tick attemptAt = 0;  ///< latest dispatch instant
+        sim::Tick lastFailAt = 0; ///< latest attempt-failure instant
+        /**
          * Per-replica send attempts, keyed by server (fanout replicas
          * land on distinct servers; resends target the same one).
          * Absent entry = one attempt so far.
          */
         std::vector<std::pair<std::uint32_t, int>> triesBySrv;
+        /** Servers whose attempt failed; failover never reuses one. */
+        std::vector<std::uint32_t> failedSrv;
+        /** Timeout/backoff windows accumulated across attempts; the
+         *  whole history is re-emitted to each failover target so the
+         *  final server's chain sums from the original dispatch. */
+        struct Gap
+        {
+            sim::Tick at = 0;
+            sim::Tick dur = 0;
+            bool backoff = false; ///< failover gap vs. timeout wait
+        };
+        std::vector<Gap> gaps; ///< attribution runs only
     };
 
     using FlightMap = std::unordered_map<std::uint64_t, Flight>;
@@ -413,8 +477,32 @@ class FleetSim
     void drainCompletions();
     /** Client-side retransmission of NIC ring drops. */
     void drainNicDrops(sim::Tick now_floor);
-    /** All replicas resolved: record latency or loss, erase. */
+    /** Merge-phase crash/refusal abort stream: replicas destroyed by
+     *  a server crash or refused by a non-Up server. */
+    void drainAborts();
+    /** Fire due per-attempt timeouts and execute due failover
+     *  re-dispatches, in deterministic (time, id) order, floored at
+     *  the quiescent epoch edge @p t1. */
+    void processRecovery(sim::Tick t1);
+    /** Route-stage fault application for the epoch [from, to):
+     *  materialize the plan's events, flip server lifecycles, mask the
+     *  dispatcher, retarget the budget allocator, and reinsert
+     *  recovered servers whose restart completed. */
+    void applyFaults(sim::Tick from, sim::Tick to);
+    /** Arm the per-attempt client timeout for a just-routed attempt
+     *  (recovery-enabled single-replica flights only). */
+    void armTimeout(FlightMap::iterator it, sim::Tick at);
+    /** One dispatch attempt failed at @p at: give the request up
+     *  (crash-class loss) or schedule the backoff retry. */
+    void failAttempt(FlightMap::iterator it, sim::Tick at);
+    /** One-time client outcome accounting + request trace record. */
+    void resolveFlight(FlightMap::iterator it, sim::Tick done,
+                       bool lost);
+    /** Resolve when nothing can still make progress, then erase the
+     *  shell once every routed replica has drained. */
     void finishFlight(FlightMap::iterator it);
+    /** Erase the shell once resolved and fully drained. */
+    void maybeEraseFlight(FlightMap::iterator it);
     /** Parallel per-shard ServerSim::collect into perServerResults_. */
     void collectServers();
     FleetReport aggregate();
@@ -436,6 +524,27 @@ class FleetSim
     std::unique_ptr<cap::BudgetAllocator> allocator_;
     sim::Tick nextAllocAt_ = 0;
     ThreadPool pool_;
+
+    // --- fault injection + recovery (null/empty when disabled) ---
+    std::unique_ptr<fault::FaultPlan> faultPlan_;
+    /** Reused event scratch for FaultPlan::epoch. */
+    std::vector<fault::FaultEvent> faultScratch_;
+    /** Restarted servers awaiting dispatcher reinsertion at the next
+     *  route stage: (ready instant, server). */
+    std::vector<std::pair<sim::Tick, std::uint32_t>> pendingUp_;
+    /** One armed client timeout (single-replica attempts). */
+    struct PendingTimeout
+    {
+        sim::Tick deadline = 0;
+        std::uint64_t id = 0;
+        int attempt = 0; ///< stale once the flight moved past it
+    };
+    std::vector<PendingTimeout> timeoutQueue_;
+    /** Scheduled failover re-dispatches: (due instant, flight id). */
+    std::vector<std::pair<sim::Tick, std::uint64_t>> retryQueue_;
+    std::uint64_t lostToCrash_ = 0;
+    std::uint64_t failovers_ = 0;
+    std::uint64_t timeoutsFired_ = 0;
 
     /** Epoch-boundary outstanding counts (dispatcher refresh source). */
     std::vector<std::uint32_t> lbView_;

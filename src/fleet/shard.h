@@ -105,9 +105,10 @@ struct PendingInject
 
 /**
  * Per-shard staging state. `injects` is filled by the single-threaded
- * router and consumed by the shard's worker; `completions`/`drops` are
- * appended by the shard's servers during an advance (via their
- * completion/drop hooks) and drained by the single-threaded merge.
+ * router and consumed by the shard's worker; `completions`/`drops`/
+ * `aborts` are appended by the shard's servers during an advance (via
+ * their completion/drop/abort hooks) and drained by the single-threaded
+ * merge.
  * Cache-line aligned so adjacent shards' slots never share a line
  * (the old per-server vector-of-vectors put buffers mutated by
  * different workers on the same line).
@@ -127,6 +128,8 @@ struct alignas(64) ShardSlot
     std::vector<PendingInject> injects APC_GUARDED_BY(writer);
     std::vector<StagedEvent> completions APC_GUARDED_BY(writer);
     std::vector<StagedEvent> drops APC_GUARDED_BY(writer);
+    /** Requests destroyed by a crash or refused by a non-Up server. */
+    std::vector<StagedEvent> aborts APC_GUARDED_BY(writer);
 };
 
 } // namespace apc::fleet

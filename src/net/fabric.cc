@@ -9,6 +9,11 @@ DropTailLink::Offer
 DropTailLink::offer(sim::Tick now, std::uint32_t bytes)
 {
     ++offered_;
+    if (flapped(now)) {
+        ++dropped_;
+        ++flapDropped_;
+        return {false, 0};
+    }
     const sim::Tick ser = serializationTime(bytes);
     const sim::Tick backlog = busyUntil_ > now ? busyUntil_ - now : 0;
     // Tail drop when the queued serialization backlog already holds a
@@ -22,6 +27,26 @@ DropTailLink::offer(sim::Tick now, std::uint32_t bytes)
     ++delivered_;
     bytes_ += bytes;
     return {true, busyUntil_ + cfg_.propDelay};
+}
+
+DropTailLink::Offer
+DropTailLink::probe(sim::Tick at, std::uint32_t bytes)
+{
+    ++offered_;
+    if (flapped(at)) {
+        ++dropped_;
+        ++flapDropped_;
+        return {false, 0};
+    }
+    const sim::Tick ser = serializationTime(bytes);
+    const sim::Tick backlog = busyUntil_ > at ? busyUntil_ - at : 0;
+    if (backlog >= static_cast<sim::Tick>(cfg_.queuePackets) * ser) {
+        ++dropped_;
+        return {false, 0};
+    }
+    ++delivered_;
+    bytes_ += bytes;
+    return {true, std::max(at, busyUntil_) + ser + cfg_.propDelay};
 }
 
 Fabric::Fabric(FabricConfig cfg, std::size_t num_servers)
@@ -44,25 +69,57 @@ Fabric::route(sim::Tick now, DropTailLink &first, DropTailLink &second,
 {
     Transit tr;
     sim::Tick attempt_at = now;
+    sim::Tick rto = cfg_.rto;
     for (int attempt = 1;; ++attempt) {
-        const auto h1 = first.offer(attempt_at, bytes);
+        // Only the first attempt occupies the wire; retransmits run at
+        // future RTO-ladder instants and must not drag the shared
+        // links' queue horizon forward (see DropTailLink::probe).
+        const bool retry = attempt > 1;
+        const auto h1 = retry ? first.probe(attempt_at, bytes)
+                              : first.offer(attempt_at, bytes);
         if (h1.accepted) {
-            const auto h2 =
-                second.offer(h1.deliverAt + cfg_.switchLatency, bytes);
+            const sim::Tick hop = h1.deliverAt + cfg_.switchLatency;
+            const auto h2 = retry ? second.probe(hop, bytes)
+                                  : second.offer(hop, bytes);
             if (h2.accepted) {
                 tr.deliverAt = h2.deliverAt;
                 return tr;
             }
         }
+        // The final failed attempt is a give-up, not a retransmit:
+        // keeping the two disjoint keeps the path-level identity
+        // exact (attempts made = 1 + retransmits per transit).
         if (attempt >= cfg_.maxTries) {
             tr.lost = true;
-            ++lost_;
+            ++giveUps_;
             return tr;
         }
         ++tr.retransmits;
         ++retransmits_;
-        attempt_at += cfg_.rto;
+        tr.rtoWait += rto;
+        attempt_at += rto;
+        // Exponential backoff with a cap: persistent congestion (or a
+        // flapped link) pushes the source off instead of hammering a
+        // fixed cadence.
+        rto = std::min(cfg_.rtoMax,
+                       static_cast<sim::Tick>(
+                           static_cast<double>(rto) * cfg_.rtoBackoff));
     }
+}
+
+void
+Fabric::flapServer(std::size_t srv, sim::Tick from, sim::Tick to)
+{
+    assert(srv < down_.size());
+    down_[srv].addOutage(from, to);
+    up_[srv].addOutage(from, to);
+}
+
+void
+Fabric::flapCore(sim::Tick from, sim::Tick to)
+{
+    coreIn_.addOutage(from, to);
+    coreOut_.addOutage(from, to);
 }
 
 Fabric::Transit
@@ -90,7 +147,7 @@ Fabric::beginWindow()
         l.beginWindow();
     for (auto &l : up_)
         l.beginWindow();
-    requests_ = responses_ = retransmits_ = lost_ = 0;
+    requests_ = responses_ = retransmits_ = giveUps_ = 0;
 }
 
 FabricStats
@@ -101,6 +158,7 @@ Fabric::stats() const
         s.enqueued += l.offered();
         s.delivered += l.delivered();
         s.dropped += l.dropped();
+        s.flapDropped += l.flapDropped();
     };
     add(coreIn_);
     add(coreOut_);
@@ -111,7 +169,7 @@ Fabric::stats() const
     s.requests = requests_;
     s.responses = responses_;
     s.retransmits = retransmits_;
-    s.lost = lost_;
+    s.giveUps = giveUps_;
     return s;
 }
 

@@ -68,6 +68,46 @@ class DropTailLink
      */
     Offer offer(sim::Tick now, std::uint32_t bytes);
 
+    /**
+     * Evaluate an offer at @p at without occupying the wire: same
+     * acceptance rule and statistics as offer(), but busyUntil_ is
+     * read, not written. Retransmit attempts run at *future* instants
+     * (the RTO ladder), and letting them drag the queue horizon
+     * forward would head-of-line block every packet offered later in
+     * call order but earlier in sim time — one flapped edge link must
+     * not congest the shared core for the whole fleet. The bandwidth
+     * retransmits consume is deliberately left unaccounted (they are
+     * a trickle next to first-attempt traffic).
+     */
+    Offer probe(sim::Tick at, std::uint32_t bytes);
+
+    /**
+     * Schedule an availability outage (link flap): every offer with
+     * `now` in [from, to) is dropped outright — a forced 100% loss
+     * window on top of drop-tail. Windows are part of the fault plan,
+     * so they survive beginWindow(). Counted in both dropped() (the
+     * conservation identity stays exact) and flapDropped().
+     */
+    void
+    addOutage(sim::Tick from, sim::Tick to)
+    {
+        if (to > from)
+            outages_.emplace_back(from, to);
+    }
+
+    /** True when the link is inside a flap window at @p now. */
+    bool
+    flapped(sim::Tick now) const
+    {
+        for (const auto &w : outages_)
+            if (now >= w.first && now < w.second)
+                return true;
+        return false;
+    }
+
+    /** Drops caused by flap windows (subset of dropped()). */
+    std::uint64_t flapDropped() const { return flapDropped_; }
+
     /** Wire time for @p bytes at the configured rate. */
     sim::Tick
     serializationTime(std::uint32_t bytes) const
@@ -89,6 +129,7 @@ class DropTailLink
     beginWindow()
     {
         offered_ = delivered_ = dropped_ = bytes_ = 0;
+        flapDropped_ = 0;
         busyTime_ = 0;
     }
 
@@ -112,7 +153,10 @@ class DropTailLink
     std::uint64_t offered_ = 0;
     std::uint64_t delivered_ = 0;
     std::uint64_t dropped_ = 0;
+    std::uint64_t flapDropped_ = 0;
     std::uint64_t bytes_ = 0;
+    /** Fault-plan availability schedule, in plan (time) order. */
+    std::vector<std::pair<sim::Tick, sim::Tick>> outages_;
 };
 
 /** Fabric-wide configuration. */
@@ -134,8 +178,15 @@ struct FabricConfig
     std::uint32_t requestBytes = 512;
     std::uint32_t responseBytes = 1500;
 
-    /** Source retransmit timeout after a drop. */
+    /** Initial source retransmit timeout after a drop. */
     sim::Tick rto = 1 * sim::kMs;
+
+    /** Each further retransmit waits `rtoBackoff` times longer than
+     *  the previous one, capped at rtoMax — persistent congestion (or
+     *  a flapped link) backs the source off instead of hammering a
+     *  fixed 1 ms cadence. */
+    double rtoBackoff = 2.0;
+    sim::Tick rtoMax = 8 * sim::kMs;
 
     /** Total attempts per packet (1 original + maxTries-1 resends). */
     int maxTries = 4;
@@ -165,11 +216,16 @@ struct FabricStats
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
 
-    // Path-level accounting.
+    // Path-level accounting. A transit that exhausts maxTries counts
+    // once in `giveUps` and never in `retransmits` — retransmits are
+    // extra attempts actually made, give-ups are final surrenders, so
+    // `requests + responses == delivered transits + giveUps` stays an
+    // exact identity alongside per-link conservation.
     std::uint64_t requests = 0;    ///< client -> server transits asked
     std::uint64_t responses = 0;   ///< server -> client transits asked
     std::uint64_t retransmits = 0; ///< extra attempts after drops
-    std::uint64_t lost = 0;        ///< transits that exhausted maxTries
+    std::uint64_t giveUps = 0;     ///< transits that exhausted maxTries
+    std::uint64_t flapDropped = 0; ///< drops caused by flap windows
 };
 
 /** The rack fabric: core links, ToR, per-server edge links. */
@@ -183,6 +239,10 @@ class Fabric
     {
         sim::Tick deliverAt = 0;
         int retransmits = 0;
+        /** Actual cumulative RTO wait across the retransmits — under
+         *  exponential backoff this is no longer retransmits * rto,
+         *  so the attribution layer must take it from here. */
+        sim::Tick rtoWait = 0;
         bool lost = false;
     };
 
@@ -194,6 +254,12 @@ class Fabric
 
     /** Reset all counters (start of a measurement window). */
     void beginWindow();
+
+    /** Flap server @p srv's edge link pair: 100% loss in [from, to). */
+    void flapServer(std::size_t srv, sim::Tick from, sim::Tick to);
+
+    /** Flap the core pair — a rack-wide blackout in [from, to). */
+    void flapCore(sim::Tick from, sim::Tick to);
 
     FabricStats stats() const;
 
@@ -221,7 +287,7 @@ class Fabric
     std::uint64_t requests_ = 0;
     std::uint64_t responses_ = 0;
     std::uint64_t retransmits_ = 0;
-    std::uint64_t lost_ = 0;
+    std::uint64_t giveUps_ = 0;
 };
 
 } // namespace apc::net

@@ -1,5 +1,6 @@
 #include "net/nic.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -45,6 +46,8 @@ Nic::rxEnqueue(std::uint64_t id, sim::Tick service)
     }
     ring_.push_back({id, service, sim_.now()});
     ++stats_.rxPackets;
+    if (frozen())
+        return; // moderation wedged: descriptors pile up in the ring
     if (ring_.size() >= cfg_.rxFrames || cfg_.rxUsecs <= 0) {
         timer_.cancel();
         fireInterrupt();
@@ -52,6 +55,40 @@ Nic::rxEnqueue(std::uint64_t id, sim::Tick service)
         // Timer runs from the oldest unsignalled descriptor.
         timer_ = sim_.after(cfg_.rxUsecs, [this] { fireInterrupt(); });
     }
+}
+
+void
+Nic::freeze(sim::Tick until)
+{
+    if (until <= sim_.now())
+        return;
+    if (until <= frozenUntil_)
+        return; // already frozen past that point
+    frozenUntil_ = until;
+    timer_.cancel();
+    // Thaw events from earlier (shorter) windows fire while frozen()
+    // is still true and fall through; only the final one flushes.
+    sim_.at(frozenUntil_, [this] {
+        if (frozen())
+            return; // the window was extended; a later thaw is due
+        // Flush the backlog the freeze accumulated in one interrupt;
+        // an empty ring just resumes normal moderation.
+        if (!ring_.empty())
+            fireInterrupt();
+    });
+}
+
+std::vector<std::uint64_t>
+Nic::crashAbort()
+{
+    timer_.cancel();
+    std::vector<std::uint64_t> ids;
+    ids.reserve(ring_.size());
+    for (const RxPacket &p : ring_)
+        ids.push_back(p.id);
+    stats_.rxAborted += ring_.size();
+    ring_.clear();
+    return ids;
 }
 
 void

@@ -69,6 +69,7 @@ struct NicStats
     std::uint64_t interrupts = 0;
     std::uint64_t rxPackets = 0; ///< accepted into the ring
     std::uint64_t rxDropped = 0; ///< ring-full tail drops
+    std::uint64_t rxAborted = 0; ///< ring descriptors destroyed by a crash
     std::uint64_t txPackets = 0;
 
     /** Batch size per interrupt. */
@@ -120,6 +121,27 @@ class Nic
     /** Unsignalled RX descriptors currently waiting. */
     std::size_t ringOccupancy() const { return ring_.size(); }
 
+    /**
+     * Freeze the moderation unit until @p until: no interrupts fire, so
+     * the ring fills and eventually tail-drops — the observable symptom
+     * of a wedged IRQ path. Packets keep landing in the ring; at the
+     * window end the backlog flushes through one interrupt. Extending
+     * an active freeze is allowed (windows merge).
+     */
+    void freeze(sim::Tick until);
+
+    /** True while the moderation unit is frozen. */
+    bool frozen() const { return sim_.now() < frozenUntil_; }
+
+    /**
+     * Server crash: destroy every unsignalled RX descriptor and cancel
+     * the moderation timer. @return the request ids the ring carried
+     * (the caller reports them lost — a crash never silently vanishes
+     * work). A DMA batch already in flight is not recalled; the owner
+     * discards it on delivery by its pre-crash enqueue time.
+     */
+    std::vector<std::uint64_t> crashAbort();
+
     const NicStats &stats() const { return stats_; }
 
     /** Zero the counters (start of a measurement window). */
@@ -141,6 +163,7 @@ class Nic
     power::PowerLoad load_;
     std::vector<RxPacket> ring_;
     sim::EventHandle timer_;
+    sim::Tick frozenUntil_ = 0;
     int dmaInFlight_ = 0;
     NicStats stats_;
     DeliverFn deliverFn_;

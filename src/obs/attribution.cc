@@ -11,8 +11,9 @@ const char *
 segmentName(Segment s)
 {
     constexpr const char *names[kNumSegments] = {
-        "xmit_req", "rto",        "nic_ring", "irq_hold",   "wake",
-        "queue",    "stall_gate", "serve",    "stall_dvfs", "xmit_resp"};
+        "xmit_req",   "rto",      "nic_ring",     "irq_hold",
+        "wake",       "queue",    "stall_gate",   "serve",
+        "stall_dvfs", "xmit_resp", "timeout_wait", "failover"};
     return names[static_cast<std::size_t>(s)];
 }
 
@@ -103,17 +104,25 @@ buildAttribution(const Tracer &tracer)
         rp.arrival = p.arrival;
         rp.e2e = p.e2e;
         rp.replicas = std::move(p.replicas);
-        // The slowest replica defines the client-observed latency: its
-        // chain is the critical path, and — additively — sums to e2e.
+        // The critical replica is the one whose chain sums exactly to
+        // the client-observed latency (leftmost on ties). Under
+        // failover a stale attempt can keep accumulating spans after
+        // the winning response resolved the request — its chain may
+        // exceed e2e — so "slowest" is only the fallback when no
+        // replica matches exactly.
         sim::Tick worst = -1;
+        bool exact = false;
         for (std::size_t i = 0; i < rp.replicas.size(); ++i) {
             const sim::Tick t = rp.replicas[i].total();
-            if (t > worst) {
-                worst = t;
+            if (!exact && t == rp.e2e) {
+                exact = true;
+                rp.critical = i;
+            } else if (!exact && t > worst) {
                 rp.critical = i;
             }
+            worst = std::max(worst, t);
         }
-        rp.additive = !rp.replicas.empty() && worst == rp.e2e;
+        rp.additive = exact;
         if (rp.additive) {
             res.requests.push_back(std::move(rp));
         } else if (res.ringDropped > 0) {

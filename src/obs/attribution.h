@@ -45,6 +45,8 @@ enum class Segment : std::uint8_t
     Serve,       ///< service time at the governor's frequency
     StallDvfs,   ///< extra service time from the cap's P-state clamp
     XmitResp,    ///< response TX + server -> client transit (minus RTO)
+    TimeoutWait, ///< dispatch -> request timeout on abandoned attempts
+    Failover,    ///< backoff gap before the failover re-dispatch
     kCount
 };
 
@@ -110,7 +112,7 @@ struct RequestPath
     sim::Tick arrival = 0;
     sim::Tick e2e = 0; ///< measured client-observed latency (ticks)
     std::vector<ReplicaPath> replicas;
-    std::size_t critical = 0; ///< index of the slowest replica
+    std::size_t critical = 0; ///< index of the critical replica
     bool additive = false;    ///< critical chain sums exactly to e2e
 
     const ReplicaPath &criticalPath() const { return replicas[critical]; }

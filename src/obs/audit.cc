@@ -68,7 +68,7 @@ Auditor::dumpAndAbort(const AuditSnapshot &snap)
                  "audit: failFast diagnostic dump @ t=%lld us\n"
                  "  flights: created=%llu finished=%llu inflight=%llu\n"
                  "  requests: dispatched=%llu completed=%llu lost=%llu "
-                 "measured_inflight=%llu\n"
+                 "lost_to_crash=%llu measured_inflight=%llu\n"
                  "  servers=%zu links=%zu energy_planes=%zu\n"
                  "  budget: enabled=%d floor=%.3f deadband=%.3f "
                  "new_epochs=%zu last_budget=%.3f\n",
@@ -79,6 +79,7 @@ Auditor::dumpAndAbort(const AuditSnapshot &snap)
                  static_cast<unsigned long long>(snap.dispatched),
                  static_cast<unsigned long long>(snap.completed),
                  static_cast<unsigned long long>(snap.lost),
+                 static_cast<unsigned long long>(snap.lostToCrash),
                  static_cast<unsigned long long>(snap.measuredInFlight),
                  snap.servers.size(), snap.links.size(),
                  snap.energy.size(), snap.budgetEnabled ? 1 : 0,
@@ -121,37 +122,44 @@ Auditor::audit(const AuditSnapshot &snap)
     prevFinished_ = snap.flightsFinished;
 
     // (2) Measurement-window request conservation: injected =
-    // completed + lost + in flight.
+    // completed + lost-to-drop + lost-to-crash + in flight. A crash
+    // destroys work loudly — destroyed requests land in lostToCrash,
+    // never in an accounting hole.
     ++checks_;
-    if (snap.dispatched !=
-        snap.completed + snap.lost + snap.measuredInFlight)
+    if (snap.dispatched != snap.completed + snap.lost +
+            snap.lostToCrash + snap.measuredInFlight)
         flag(snap, AuditCheck::FleetRequests, -1,
              fmtDetail(
                  "dispatched %llu != completed %llu + lost %llu + "
-                 "inflight %llu",
+                 "crash %llu + inflight %llu",
                  static_cast<unsigned long long>(snap.dispatched),
                  static_cast<unsigned long long>(snap.completed),
                  static_cast<unsigned long long>(snap.lost),
+                 static_cast<unsigned long long>(snap.lostToCrash),
                  static_cast<unsigned long long>(snap.measuredInFlight)));
 
-    // (3) Per-server counters: completed never exceeds accepted, and
-    // both only grow.
+    // (3) Per-server counters: completed + aborted never exceeds
+    // accepted (outstanding work is non-negative), and all only grow.
     const bool first = prevServers_.size() != snap.servers.size();
     for (std::size_t i = 0; i < snap.servers.size(); ++i) {
         ++checks_;
         const AuditServerCounters &sc = snap.servers[i];
-        if (sc.completed > sc.accepted)
+        if (sc.completed + sc.aborted > sc.accepted)
             flag(snap, AuditCheck::ServerCounters, static_cast<int>(i),
-                 fmtDetail("completed %llu > accepted %llu",
+                 fmtDetail("completed %llu + aborted %llu > accepted "
+                           "%llu",
                            static_cast<unsigned long long>(sc.completed),
+                           static_cast<unsigned long long>(sc.aborted),
                            static_cast<unsigned long long>(sc.accepted)));
         if (!first) {
             const AuditServerCounters &pv = prevServers_[i];
-            if (sc.accepted < pv.accepted || sc.completed < pv.completed)
+            if (sc.accepted < pv.accepted ||
+                sc.completed < pv.completed || sc.aborted < pv.aborted)
                 flag(snap, AuditCheck::ServerCounters,
                      static_cast<int>(i),
                      fmtDetail("counters went backwards: accepted "
-                               "%llu -> %llu, completed %llu -> %llu",
+                               "%llu -> %llu, completed %llu -> %llu, "
+                               "aborted %llu -> %llu",
                                static_cast<unsigned long long>(
                                    pv.accepted),
                                static_cast<unsigned long long>(
@@ -159,7 +167,11 @@ Auditor::audit(const AuditSnapshot &snap)
                                static_cast<unsigned long long>(
                                    pv.completed),
                                static_cast<unsigned long long>(
-                                   sc.completed)));
+                                   sc.completed),
+                               static_cast<unsigned long long>(
+                                   pv.aborted),
+                               static_cast<unsigned long long>(
+                                   sc.aborted)));
         }
     }
     prevServers_ = snap.servers;
@@ -223,16 +235,19 @@ Auditor::audit(const AuditSnapshot &snap)
                                "budget %.3f W",
                                static_cast<long long>(ep.at / sim::kUs),
                                ep.allocatedW, ep.budgetW));
-            // Outside emergencies every server is guaranteed its
-            // floor, so the grant total can't dip below n * floor.
-            if (!ep.emergency &&
-                ep.allocatedW + kEpsW < n * snap.floorW)
+            // Outside emergencies every *participating* server is
+            // guaranteed its floor, so the grant total can't dip
+            // below active * floor. Epochs recorded before liveness
+            // tracking (active == 0) cover the whole fleet.
+            const std::size_t live =
+                ep.active ? ep.active : snap.numServers;
+            if (!ep.emergency && ep.allocatedW + kEpsW <
+                    static_cast<double>(live) * snap.floorW)
                 flag(snap, AuditCheck::Budget, -1,
                      fmtDetail("non-emergency epoch @%lld us granted "
                                "%.3f W < %zu x floor %.3f W",
                                static_cast<long long>(ep.at / sim::kUs),
-                               ep.allocatedW, snap.numServers,
-                               snap.floorW));
+                               ep.allocatedW, live, snap.floorW));
         }
         // Enforced limits: each within the deadband of some grant that
         // summed to <= the last rack budget, so the fleet-wide enforced
@@ -253,7 +268,12 @@ Auditor::audit(const AuditSnapshot &snap)
                                n * snap.deadbandW));
             if (!snap.anyEmergencyEver)
                 for (std::size_t i = 0; i < snap.serverLimitW.size();
-                     ++i)
+                     ++i) {
+                    // A dead server is deliberately granted zero; its
+                    // limit owes nothing to the floor.
+                    if (i < snap.serverActive.size() &&
+                        !snap.serverActive[i])
+                        continue;
                     if (snap.serverLimitW[i] +
                             snap.deadbandW + kEpsW <
                         snap.floorW)
@@ -263,6 +283,7 @@ Auditor::audit(const AuditSnapshot &snap)
                                        "floor %.3f W (deadband %.3f W)",
                                        snap.serverLimitW[i], snap.floorW,
                                        snap.deadbandW));
+                }
         }
     }
 }

@@ -11,9 +11,10 @@
  *
  *  - **request conservation**: flights created = flights finished +
  *    flights in flight, and (measurement window) dispatched =
- *    completed + lost + measured-in-flight;
- *  - **per-server counters**: completed <= accepted, both monotonically
- *    non-decreasing across audits;
+ *    completed + lost-to-drop + lost-to-crash + measured-in-flight —
+ *    a crash may destroy work but never silently vanish it;
+ *  - **per-server counters**: completed + aborted <= accepted, all
+ *    monotonically non-decreasing across audits;
  *  - **fabric link conservation**: offered = delivered + dropped,
  *    exactly, on every link;
  *  - **energy accounting**: each plane's quantized RAPL counter
@@ -50,8 +51,8 @@ namespace apc::obs {
 enum class AuditCheck : std::uint8_t
 {
     FleetFlights = 0, ///< created = finished + in flight
-    FleetRequests,    ///< dispatched = completed + lost + in flight
-    ServerCounters,   ///< completed <= accepted, both monotone
+    FleetRequests,    ///< dispatched = completed + lost + crash + in flight
+    ServerCounters,   ///< completed + aborted <= accepted, all monotone
     LinkConservation, ///< offered = delivered + dropped per link
     Energy,           ///< RAPL counter brackets energy; monotone
     Budget,           ///< allocations <= budget; floors respected
@@ -78,6 +79,7 @@ struct AuditServerCounters
 {
     std::uint64_t accepted = 0;
     std::uint64_t completed = 0;
+    std::uint64_t aborted = 0; ///< destroyed by crash / refused admission
 };
 
 /** Per-link counters (offered = delivered + dropped must hold). */
@@ -106,6 +108,9 @@ struct AuditBudgetEpoch
     double budgetW = 0.0;
     double allocatedW = 0.0;
     bool emergency = false;
+    /** Servers participating in the epoch's waterfill; 0 (legacy
+     *  snapshot builders) means "all of them". */
+    std::size_t active = 0;
 };
 
 /**
@@ -124,6 +129,7 @@ struct AuditSnapshot
     std::uint64_t dispatched = 0;
     std::uint64_t completed = 0;
     std::uint64_t lost = 0;
+    std::uint64_t lostToCrash = 0; ///< destroyed by injected faults
     std::uint64_t measuredInFlight = 0;
 
     std::vector<AuditServerCounters> servers;
@@ -140,6 +146,9 @@ struct AuditSnapshot
     /** Last logged grant's rack budget (bounds the enforced limits). */
     double lastBudgetW = 0.0;
     std::vector<double> serverLimitW;
+    /** Per-server liveness at the snapshot (empty = everyone Up); a
+     *  dead server's enforced limit is exempt from the floor check. */
+    std::vector<std::uint8_t> serverActive;
 };
 
 /** One recorded violation. */

@@ -121,6 +121,27 @@ SloMonitor::burnRate(std::size_t sli, sim::Tick t1,
 }
 
 double
+SloMonitor::windowGoodFraction(Sli sli, sim::Tick window) const
+{
+    if (window_.empty())
+        return 1.0; // nothing sealed yet: vacuously healthy
+    const std::size_t s = static_cast<std::size_t>(sli);
+    const sim::Tick t1 = window_.back().t1;
+    const sim::Tick from = t1 - window;
+    std::uint64_t good = 0, bad = 0;
+    for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+        if (it->t1 <= from)
+            break;
+        good += it->good[s];
+        bad += it->bad[s];
+    }
+    const std::uint64_t total = good + bad;
+    if (total == 0)
+        return 1.0; // zero traffic in the window: 100% available
+    return static_cast<double>(good) / static_cast<double>(total);
+}
+
+double
 SloMonitor::windowP99(sim::Tick t1)
 {
     const sim::Tick from = t1 - policies_[0].longWindow;

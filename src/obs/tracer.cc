@@ -32,10 +32,13 @@ nameString(Name n)
         "collect",       "seg_xmit_req",  "seg_rto",
         "seg_nic_ring",  "seg_irq_hold",  "seg_wake",
         "seg_queue",     "seg_stall_gate", "seg_serve",
-        "seg_stall_dvfs", "seg_xmit_resp", "rack_unmet_w",
+        "seg_stall_dvfs", "seg_xmit_resp", "seg_timeout_wait",
+        "seg_failover",  "rack_unmet_w",
         "alert_latency", "alert_availability", "alert_power",
         "burn_latency",  "burn_availability",  "burn_power",
         "audit_violation",
+        "srv_crash",     "srv_drain",     "srv_restart",
+        "srv_down",      "link_flap",     "nic_freeze",
     };
     return names[static_cast<std::size_t>(n)];
 }

@@ -115,6 +115,10 @@ enum class Name : std::uint32_t
     SegServe,     ///< service time at the governor's frequency
     SegStallDvfs, ///< extra service time from the cap's P-state clamp
     SegXmitResp,  ///< response TX + server -> client transit (minus RTO)
+    SegTimeoutWait, ///< dispatch -> timeout on an attempt the client
+                    ///< abandoned (fleet writer; value = final server)
+    SegFailover,    ///< backoff gap between a failed attempt and its
+                    ///< re-dispatch (fleet writer; value = new server)
     // Rack budget allocation (traced by cap/budget.cc).
     RackUnmetW, ///< counter: demand the waterfill left unsatisfied
     // Fleet health (obs/health.h): SLO burn-rate alert lifecycles as
@@ -128,6 +132,16 @@ enum class Name : std::uint32_t
     BurnAvailability,
     BurnPower,
     AuditViolation,
+    // Fault injection (src/fault): lifecycle events on the Health
+    // track. Instants mark the fault instant (id = server; core-link
+    // flaps use id = fault::kCoreLinkEntity); spans cover the whole
+    // unavailability window including the restart cold start.
+    SrvCrash,   ///< instant: server crashed, in-flight work destroyed
+    SrvDrain,   ///< instant: server stopped admitting (graceful drain)
+    SrvRestart, ///< instant: server back in the pick set
+    SrvDown,    ///< span: out of the pick set (crash/drain -> ready)
+    LinkFlap,   ///< span: forced 100% loss window on a fabric link
+    NicFreeze,  ///< span: RX interrupt-moderation unit wedged
 
     kCount
 };

@@ -5,6 +5,22 @@
 
 namespace apc::server {
 
+const char *
+lifecycleName(Lifecycle s)
+{
+    switch (s) {
+      case Lifecycle::Up:
+        return "up";
+      case Lifecycle::Draining:
+        return "draining";
+      case Lifecycle::Down:
+        return "down";
+      case Lifecycle::Restarting:
+        return "restarting";
+    }
+    return "?";
+}
+
 double
 ServerResult::idlePeriodFraction(double lo_us, double hi_us) const
 {
@@ -66,6 +82,8 @@ void
 ServerSim::onArrival()
 {
     scheduleNextArrival();
+    if (state_ != Lifecycle::Up)
+        return; // internal arrivals to a refusing server just vanish
     const sim::Tick svc = service_->sample(sim_.rng());
     if (nic_)
         nic_->rxEnqueue(kNoRequestId, svc);
@@ -76,12 +94,93 @@ ServerSim::onArrival()
 void
 ServerSim::inject(std::uint64_t id, sim::Tick service)
 {
+    if (state_ != Lifecycle::Up) {
+        // Admission refused: a Draining/Down/Restarting server
+        // destroys the request on arrival — the abort hook tells the
+        // owner so it can count the loss and fail the request over.
+        if (id != kNoRequestId && abortFn_)
+            abortFn_(id, sim_.now());
+        return;
+    }
+    if (id != kNoRequestId)
+        liveIds_.push_back(id);
     const sim::Tick svc =
         service > 0 ? service : service_->sample(sim_.rng());
     if (nic_)
         nic_->rxEnqueue(id, svc);
     else
         admit({sim_.now(), svc, false, id});
+}
+
+void
+ServerSim::completeInjected(std::uint64_t id)
+{
+    const auto it = std::find(liveIds_.begin(), liveIds_.end(), id);
+    if (it == liveIds_.end())
+        return; // destroyed by a crash while the response was in flight
+    liveIds_.erase(it);
+    if (completionFn_)
+        completionFn_(id, sim_.now());
+}
+
+void
+ServerSim::scheduleCrash(sim::Tick at)
+{
+    sim_.at(at, [this] { crashNow(); });
+}
+
+void
+ServerSim::scheduleDrain(sim::Tick at)
+{
+    sim_.at(at, [this] {
+        if (state_ == Lifecycle::Up)
+            state_ = Lifecycle::Draining;
+    });
+}
+
+void
+ServerSim::scheduleRestart(sim::Tick at, sim::Tick ready_at)
+{
+    sim_.at(at, [this, ready_at] {
+        state_ = Lifecycle::Restarting;
+        sim_.at(ready_at, [this] { state_ = Lifecycle::Up; });
+    });
+}
+
+void
+ServerSim::freezeNic(sim::Tick from, sim::Tick to)
+{
+    if (!nic_)
+        return;
+    sim_.at(from, [this, to] { nic_->freeze(to); });
+}
+
+void
+ServerSim::crashNow()
+{
+    state_ = Lifecycle::Down;
+    ++inc_;
+    crashAt_ = sim_.now();
+    // Tear down the RX ring; its ids are already in liveIds_, so the
+    // sweep below reports them (internal arrivals carry no id).
+    if (nic_)
+        nic_->crashAbort();
+    // Queued work dies where it waits. On-core and in-TX work is
+    // ghosted by the incarnation bump: its continuations still run the
+    // physical machinery (MC release, core release) but never complete.
+    for (auto &c : ctx_)
+        c.queue.clear();
+    // Every accepted-but-unfinished request dies with the crash — the
+    // LB's queue-depth signal drops to zero.
+    aborted_ += outstanding();
+    // Report the destroyed ids in id order: the fleet's merge re-sorts
+    // anyway, but a deterministic emission order keeps any direct
+    // consumer reproducible too.
+    std::sort(liveIds_.begin(), liveIds_.end());
+    if (abortFn_)
+        for (const std::uint64_t id : liveIds_)
+            abortFn_(id, sim_.now());
+    liveIds_.clear();
 }
 
 void
@@ -96,14 +195,22 @@ ServerSim::deliverNicBatch(std::vector<net::Nic::RxPacket> batch,
     // between the IRQ hold and the package wake the fabric wait below
     // represents.
     const sim::Tick dma_done = sim_.now();
+    const std::uint32_t inc = inc_;
     soc_->whenFabricReady([this, batch = std::move(batch), irq_at,
-                           dma_done] {
+                           dma_done, inc] {
+        if (inc != inc_)
+            return; // the crash already reported every id this carries
         if (sim_.now() >= measureStart_)
             nicWakeUs_.record(sim::toMicros(sim_.now() - irq_at));
         const sim::Tick adm = sim_.now();
         const sim::Tick gate_base = gateClosedTotalAt(adm);
         bool first = true;
         for (const net::Nic::RxPacket &p : batch) {
+            // A batch whose DMA was in flight when the server crashed
+            // arrives as a ghost: everything enqueued at or before the
+            // crash instant was aborted with the ring.
+            if (p.enqueuedAt <= crashAt_)
+                continue;
             ++accepted_;
             if (traceSeg_ && p.id != kNoRequestId && adm > dma_done)
                 // Every coalesced request pays the one shared package
@@ -115,7 +222,7 @@ ServerSim::deliverNicBatch(std::vector<net::Nic::RxPacket> batch,
             // is part of the request's end-to-end cost. Followers of
             // the batch share the leader's wake.
             assign({p.enqueuedAt, p.service, !first, p.id, adm,
-                    gate_base});
+                    gate_base, inc_});
             first = false;
         }
     });
@@ -125,12 +232,15 @@ void
 ServerSim::admit(Request r)
 {
     ++accepted_;
+    r.inc = inc_;
     r.coalesced = sim_.now() - lastArrival_ <= cfg_.workload.coalesceWindow;
     lastArrival_ = sim_.now();
     // RX over the NIC link (wakes it from L0s/L1 as needed), then wait
     // for the path to memory before the request can be dispatched.
     soc_->nic().transfer(cfg_.workload.nicTransfer, [this, r] {
         soc_->whenFabricReady([this, r]() mutable {
+            if (r.inc != inc_)
+                return; // crashed while waking; already reported
             const sim::Tick adm = sim_.now();
             if (traceSeg_ && r.id != kNoRequestId && adm > r.arrival)
                 // No NIC model: the whole link transfer + fabric wait
@@ -175,7 +285,14 @@ void
 ServerSim::serveFront(std::size_t idx, bool was_active)
 {
     auto &ctx = ctx_[idx];
-    assert(ctx.processing && !ctx.queue.empty());
+    assert(ctx.processing);
+    if (ctx.queue.empty()) {
+        // A crash emptied the queue while this core's wake was in
+        // flight; the work it was woken for no longer exists.
+        ctx.processing = false;
+        soc_->core(idx).release();
+        return;
+    }
     const Request r = ctx.queue.front();
     ctx.queue.pop_front();
 
@@ -227,6 +344,17 @@ ServerSim::serveFront(std::size_t idx, bool was_active)
         if (--*pending > 0)
             return;
         mc.endAccess();
+        if (r.inc != inc_) {
+            // The crash destroyed this request on-core: its abort was
+            // already reported, so only the physical bookkeeping runs.
+            auto &c = ctx_[idx];
+            c.processing = false;
+            if (!c.queue.empty() && !capGated_)
+                pump(idx);
+            else
+                soc_->core(idx).release();
+            return;
+        }
         ++completed_;
         recordLatency(sim_.now() - r.arrival + cfg_.networkLatency);
         if (trace_)
@@ -248,20 +376,22 @@ ServerSim::serveFront(std::size_t idx, bool was_active)
             // the fleet's response enters the fabric) when the packet
             // has left the device, not when the core finished.
             const std::uint64_t rid = r.id;
+            const std::uint32_t rinc = r.inc;
             const sim::Tick serve_end = sim_.now();
-            nic_->txSend([this, rid, serve_end] {
+            nic_->txSend([this, rid, rinc, serve_end] {
                 if (rid == kNoRequestId)
                     return;
+                if (rinc != inc_)
+                    return; // crashed while the response was in TX
                 if (traceSeg_ && sim_.now() > serve_end)
                     trace_->span(serve_end, sim_.now() - serve_end,
                                  obs::Name::SegXmitResp,
                                  obs::Track::Segments, rid);
-                if (completionFn_)
-                    completionFn_(rid, sim_.now());
+                completeInjected(rid);
             });
         } else {
-            if (r.id != kNoRequestId && completionFn_)
-                completionFn_(r.id, sim_.now());
+            if (r.id != kNoRequestId)
+                completeInjected(r.id);
             // Response TX (fire-and-forget; keeps the NIC link busy).
             soc_->nic().transfer(cfg_.workload.nicTransfer, nullptr);
         }

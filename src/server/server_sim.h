@@ -35,6 +35,26 @@
 namespace apc::server {
 
 /**
+ * Server lifecycle under fault injection. Healthy servers are `Up`;
+ * the fault plan moves them `Up -> Down -> Restarting -> Up` (crash)
+ * or `Up -> Draining -> Restarting -> Up` (graceful drain+restart).
+ * Only an `Up` server admits new requests; a crash destroys every
+ * in-flight request (reported through the abort hook — work is never
+ * silently vanished), while a drain lets outstanding work complete and
+ * the package descend through its PC states as the queues empty.
+ */
+enum class Lifecycle : std::uint8_t
+{
+    Up = 0,
+    Draining,
+    Down,
+    Restarting,
+};
+
+/** Display name for a lifecycle state. */
+const char *lifecycleName(Lifecycle s);
+
+/**
  * Dual-socket (NUMA) extension: a second, otherwise-idle socket serves
  * a fraction of memory accesses over UPI (memory-expansion / far-NUMA
  * usage). Remote traffic punctures the remote socket's package idle
@@ -238,6 +258,15 @@ class ServerSim
     using RxDropFn =
         sim::InplaceFunction<void(std::uint64_t id, sim::Tick at), 32>;
 
+    /**
+     * Called when a fault destroys an injected request: a crash tears
+     * down everything in flight, and a non-Up server refuses admission
+     * on arrival. Same threading rules as CompletionFn — the fleet uses
+     * it to count the loss and fail the request over.
+     */
+    using AbortFn =
+        sim::InplaceFunction<void(std::uint64_t id, sim::Tick at), 32>;
+
     explicit ServerSim(ServerConfig cfg);
     ~ServerSim();
 
@@ -280,6 +309,47 @@ class ServerSim
 
     /** Set the RX-ring drop hook for injected requests (NIC mode). */
     void onRxDrop(RxDropFn fn) { rxDropFn_ = std::move(fn); }
+
+    /** Set the fault-abort hook for injected requests. */
+    void onAbort(AbortFn fn) { abortFn_ = std::move(fn); }
+
+    // --- fault injection (scheduled from the fleet's route stage) ---
+
+    /** Current lifecycle state. */
+    Lifecycle lifecycle() const { return state_; }
+
+    /**
+     * Schedule a crash at absolute time @p at: the server goes Down,
+     * every in-flight request — RX ring, core queues, on-core work,
+     * responses in TX — is destroyed and reported through the abort
+     * hook, and admission is refused until a restart completes. The
+     * event runs inside this server's own event loop, so mid-epoch
+     * fault instants are honored exactly under parallel advance.
+     */
+    void scheduleCrash(sim::Tick at);
+
+    /**
+     * Schedule a graceful drain at @p at: admission stops (arrivals are
+     * refused through the abort hook, so the fleet fails them over) but
+     * outstanding work runs to completion and the package descends
+     * through its PC states as the queues empty.
+     */
+    void scheduleDrain(sim::Tick at);
+
+    /**
+     * Schedule the restart that follows a crash or drain: at @p at the
+     * server enters Restarting (still refusing admission) and at
+     * @p ready_at it is Up again. The cold package pays its full wake
+     * costs on the first post-restart request.
+     */
+    void scheduleRestart(sim::Tick at, sim::Tick ready_at);
+
+    /** Freeze the NIC moderation unit in [from, to) (NIC mode only):
+     *  no interrupts fire, the RX ring fills and tail-drops. */
+    void freezeNic(sim::Tick from, sim::Tick to);
+
+    /** Accepted requests destroyed by crashes (never completed). */
+    std::uint64_t aborted() const { return aborted_; }
 
     /** The NIC device; null unless cfg.nic.enabled. */
     net::Nic *nicDevice() { return nic_.get(); }
@@ -324,8 +394,13 @@ class ServerSim
     /** Requests fully served (response sent). */
     std::uint64_t completed() const { return completed_; }
 
-    /** Accepted but not yet completed (the LB's queue-depth signal). */
-    std::uint64_t outstanding() const { return accepted_ - completed_; }
+    /** Accepted but not yet completed or destroyed (the LB's
+     *  queue-depth signal; drops to zero at a crash). */
+    std::uint64_t
+    outstanding() const
+    {
+        return accepted_ - completed_ - aborted_;
+    }
 
     /** The SoC under test (valid after construction). */
     soc::Soc &soc() { return *soc_; }
@@ -348,6 +423,10 @@ class ServerSim
         // segment tracing is on).
         sim::Tick admitAt = 0;  ///< fabric open; enters the core queue
         sim::Tick gateBase = 0; ///< gate-closed integral at admission
+        /** Server incarnation the request was admitted under; a crash
+         *  bumps the incarnation, turning every continuation still in
+         *  flight into a ghost that must not complete. */
+        std::uint32_t inc = 0;
     };
 
     struct CoreCtx
@@ -363,6 +442,11 @@ class ServerSim
     void scheduleNextArrival();
     void onArrival();
     void admit(Request r);
+    /** Crash teardown at the current simulated time (see scheduleCrash). */
+    void crashNow();
+    /** Fire the completion hook for @p id unless a crash destroyed it
+     *  while the response was still inside the server. */
+    void completeInjected(std::uint64_t id);
     /** NIC interrupt batch: shared wake, then per-packet admission. */
     void deliverNicBatch(std::vector<net::Nic::RxPacket> batch,
                          sim::Tick irq_at);
@@ -416,6 +500,17 @@ class ServerSim
     std::uint64_t completed_ = 0;
     CompletionFn completionFn_;
     RxDropFn rxDropFn_;
+    // Fault-injection state. All of it is inert (zero-footprint) until
+    // a fault is actually scheduled: state_ stays Up, inc_ stays 0, and
+    // crashAt_'s sentinel predates every enqueue.
+    Lifecycle state_ = Lifecycle::Up;
+    std::uint32_t inc_ = 0;     ///< bumped by every crash
+    sim::Tick crashAt_ = -1;    ///< last crash instant (-1 = never)
+    std::uint64_t aborted_ = 0; ///< accepted requests destroyed
+    /** Injected ids currently alive inside the server (ring, queue,
+     *  core, TX) — the set a crash must report as destroyed. */
+    std::vector<std::uint64_t> liveIds_;
+    AbortFn abortFn_;
     stats::Summary nicWakeUs_;
     double nicEnergy0_ = 0.0; ///< Network-plane energy at measurement start
     // RAPL counters latched at beginMeasurement().

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -346,6 +347,90 @@ TEST(EventQueue, CancelRescheduleKeepsMemoryBounded)
     EXPECT_GT(q.compactions(), 0u);
     q.runAll();
     EXPECT_EQ(q.executedEvents(), 1u);
+}
+
+TEST(EventQueue, CrashStyleMassCancellationStorm)
+{
+    // A server crash cancels *everything at once* — every in-flight
+    // completion, timer, and interrupt — then the restart schedules a
+    // fresh population into the same wheel buckets. The queue must
+    // reap the storm's tombstones, keep its bucket bitmap usable
+    // despite stale-set bits, and fire only the survivors, in order.
+    EventQueue q;
+    std::vector<EventHandle> doomed;
+    int fired_old = 0;
+    for (int i = 0; i < 4096; ++i)
+        doomed.push_back(q.scheduleAfter(
+            1 + (i % 64) * (sim::kUs / 2) +
+                (i % 3 == 0 ? 4 * EventQueue::kWheelSpan : 0),
+            [&] { ++fired_old; }));
+    for (EventHandle &h : doomed)
+        h.cancel();
+    EXPECT_EQ(q.pendingEvents(), 0u);
+
+    // Refill the same time range; the storm's slots get recycled.
+    std::vector<Tick> fired_new;
+    for (int i = 0; i < 512; ++i)
+        q.scheduleAfter(1 + (i % 64) * (sim::kUs / 2),
+                        [&] { fired_new.push_back(q.now()); });
+    q.runAll();
+
+    EXPECT_EQ(fired_old, 0);
+    EXPECT_EQ(fired_new.size(), 512u);
+    EXPECT_TRUE(std::is_sorted(fired_new.begin(), fired_new.end()));
+    EXPECT_GT(q.compactions(), 0u);
+    // The storm left no unbounded residue behind.
+    EXPECT_EQ(q.pendingEvents(), 0u);
+    EXPECT_LE(q.internalEntries(), 1u);
+
+    // Stale handles survived slot recycling: generation mismatch
+    // degrades every operation to a no-op.
+    for (EventHandle &h : doomed) {
+        EXPECT_FALSE(h.pending());
+        h.cancel(); // must not touch the recycled occupants
+    }
+}
+
+TEST(EventQueue, SeededChurnReplayWithCancelStorms)
+{
+    // Deterministic replay under the nastiest schedule: random
+    // schedule/cancel churn punctuated by epoch-style mass-cancel
+    // storms that empty whole wheel buckets (leaving stale bitmap
+    // bits) while the queue is mid-advance. Two runs with the same
+    // seed must fire the identical (time, id) sequence.
+    auto run = [](std::uint64_t seed) {
+        Rng rng(seed);
+        EventQueue q;
+        std::vector<std::pair<Tick, int>> fired;
+        std::vector<EventHandle> handles;
+        int id = 0;
+        for (int round = 0; round < 40; ++round) {
+            for (int i = 0; i < 200; ++i) {
+                const Tick d =
+                    1 + rng.uniformInt(
+                            0, static_cast<int>(
+                                   2 * EventQueue::kWheelSpan / sim::kUs)) *
+                            (sim::kUs / 4);
+                const int my = id++;
+                handles.push_back(q.scheduleAfter(d, [&fired, &q, my] {
+                    fired.emplace_back(q.now(), my);
+                }));
+            }
+            if (round % 4 == 3) {
+                // The storm: cancel everything scheduled so far.
+                for (EventHandle &h : handles)
+                    h.cancel();
+                handles.clear();
+            }
+            q.runUntil(q.now() + 3 * sim::kUs);
+        }
+        q.runAll();
+        return fired;
+    };
+    const auto a = run(23);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, run(23));
+    EXPECT_NE(a, run(24));
 }
 
 TEST(EventQueue, DeterministicUnderRandomizedChurn)

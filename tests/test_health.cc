@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -164,6 +165,35 @@ TEST(SloMonitor, LatencyPercentileBufferIsBoundedAndCounted)
     EXPECT_EQ(m.latencySamplesDropped(), 6u);
     // Dropped samples still counted good/bad: nothing burned.
     EXPECT_DOUBLE_EQ(m.worstBurn(), 0.0);
+}
+
+TEST(SloMonitor, IdleFleetIsFullyAvailableNotNaN)
+{
+    obs::SloMonitor m(scriptedSlo(), 0.0);
+
+    // Before any epoch is sealed the window is empty: availability is
+    // a healthy 1.0, never 0/0.
+    EXPECT_DOUBLE_EQ(
+        m.windowGoodFraction(obs::Sli::Availability, 8 * kMs), 1.0);
+
+    // Zero-traffic epochs: zero requests means zero requests failed.
+    for (int k = 1; k <= 4; ++k)
+        m.onEpoch((k - 1) * kMs, k * kMs);
+    const double f =
+        m.windowGoodFraction(obs::Sli::Availability, 8 * kMs);
+    EXPECT_FALSE(std::isnan(f));
+    EXPECT_DOUBLE_EQ(f, 1.0);
+    EXPECT_DOUBLE_EQ(
+        m.windowGoodFraction(obs::Sli::Latency, 2 * kMs), 1.0);
+    EXPECT_EQ(m.alertsFired(), 0u);
+    EXPECT_DOUBLE_EQ(m.worstBurn(), 0.0);
+
+    // The guard never masks real damage: one lost request in an
+    // otherwise-idle window burns it.
+    m.recordLost();
+    m.onEpoch(4 * kMs, 5 * kMs);
+    EXPECT_LT(m.windowGoodFraction(obs::Sli::Availability, 2 * kMs),
+              1.0);
 }
 
 // ----------------------------------------------------- auditor (unit)

@@ -1,0 +1,24 @@
+// Corpus fixture: stateful randomness in the fault subsystem must
+// fire [fault-rng]. The failure schedule has to be a pure function of
+// (seed, entity, kind, counter) — a stateful stream makes it depend
+// on draw order, which varies with thread count and shard layout.
+// Never compiled.
+#include <random>
+
+#include "sim/rng.h" // stateful stream header in fault scope
+
+namespace apc::fault {
+
+long crashGapTicks()
+{
+    sim::Rng rng(42); // stateful stream: draw order leaks into schedule
+    return static_cast<long>(rng.exponential(1e9));
+}
+
+double flapJitter()
+{
+    std::mt19937_64 eng(7); // stateful engine in fault scope
+    return std::uniform_real_distribution<double>(0.0, 1.0)(eng);
+}
+
+} // namespace apc::fault

@@ -104,7 +104,51 @@ TEST(Fabric, RoutesAndRetransmitsThroughCongestion)
     EXPECT_EQ(s.requests, 400u);
     EXPECT_EQ(s.requests, ok + lost);
     EXPECT_EQ(s.retransmits, retransmits);
-    EXPECT_EQ(s.lost, lost);
+    EXPECT_EQ(s.giveUps, lost);
+}
+
+TEST(Fabric, RtoBacksOffExponentiallyWithCap)
+{
+    FabricConfig fc;
+    fc.enabled = true;
+    fc.rto = 100 * kUs;
+    fc.rtoBackoff = 2.0;
+    fc.rtoMax = 300 * kUs;
+    fc.maxTries = 5;
+    Fabric fab(fc, 1);
+    // Flap the edge so every attempt drops: all four waits happen.
+    fab.flapServer(0, 0, 10 * sim::kMs);
+    const auto tr = fab.toServer(0, 0);
+    EXPECT_TRUE(tr.lost);
+    EXPECT_EQ(tr.retransmits, 4);
+    // Waits: 100, 200, 300 (capped), 300 (capped) µs.
+    EXPECT_EQ(tr.rtoWait, 900 * kUs);
+    const auto s = fab.stats();
+    EXPECT_EQ(s.giveUps, 1u);
+    EXPECT_EQ(s.retransmits, 4u);
+    EXPECT_EQ(s.flapDropped, 5u);
+    // Flap drops still balance the per-link books.
+    EXPECT_EQ(s.enqueued, s.delivered + s.dropped);
+}
+
+TEST(Fabric, FlapWindowIsAHardLossWindow)
+{
+    FabricConfig fc;
+    fc.enabled = true;
+    fc.maxTries = 1; // no retries: outcomes map 1:1 to windows
+    Fabric fab(fc, 2);
+    fab.flapServer(1, 1 * sim::kMs, 2 * sim::kMs);
+    EXPECT_FALSE(fab.toServer(0, 1).lost);             // before
+    EXPECT_TRUE(fab.toServer(1 * sim::kMs, 1).lost);   // inside
+    EXPECT_FALSE(fab.toServer(1 * sim::kMs, 0).lost);  // other server
+    // Still inside with margin for the ~56 µs core transit the packet
+    // takes before it reaches the flapped edge link.
+    EXPECT_TRUE(fab.toServer(3 * sim::kMs / 2, 1).lost);
+    EXPECT_FALSE(fab.toServer(2 * sim::kMs, 1).lost);  // after
+    // Core blackout severs every server.
+    fab.flapCore(5 * sim::kMs, 6 * sim::kMs);
+    EXPECT_TRUE(fab.toServer(5 * sim::kMs, 0).lost);
+    EXPECT_TRUE(fab.toServer(5 * sim::kMs, 1).lost);
 }
 
 TEST(Fabric, UncongestedTransitMatchesWireMath)

@@ -451,6 +451,24 @@ class Linter:
          "engine in sim/rng.h"),
     ]
 
+    FAULT_RNG_PATTERNS = [
+        (re.compile(r"\bsim\s*::\s*Rng\b|\bRng\s+\w+\s*[({]|"
+                    r"#\s*include\s*[\"<]sim/rng\.h"),
+         "stateful sim::Rng in the fault subsystem — the failure "
+         "schedule must be a pure function of (seed, entity, kind, "
+         "counter); use the counter-based substream API in "
+         "fault/fault.h"),
+        (re.compile(r"\bstd\s*::\s*(?:mt19937(?:_64)?|minstd_rand0?|"
+                    r"ranlux\w+|knuth_b)\b"),
+         "<random> engine in the fault subsystem — stateful draw "
+         "order varies with layout; use counter-based substreams"),
+        (re.compile(r"\b(?:uniform_(?:int|real)_distribution|"
+                    r"exponential_distribution|normal_distribution|"
+                    r"poisson_distribution|bernoulli_distribution)\b"),
+         "<random> distribution in the fault subsystem — consumes a "
+         "stateful engine; use substreamU01/substreamExp instead"),
+    ]
+
     # ---- driver ----------------------------------------------------------
 
     def lint_file(self, path: Path):
@@ -470,6 +488,9 @@ class Linter:
             self.check_float_accum(scan)
         if self.rule_applies("pointer-key-order", path):
             self.check_pointer_key_order(scan)
+        if self.rule_applies("fault-rng", path):
+            self.check_regex_rule(scan, "fault-rng",
+                                  self.FAULT_RNG_PATTERNS)
 
     def check_stale_allows(self):
         """An allow that waives nothing is dead weight — flag it so the
